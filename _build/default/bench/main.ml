@@ -1,0 +1,160 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation and times the synthesis flow with Bechamel (one Test.make per
+   table harness, plus per-stage ablation timings).
+
+   Run with:  dune exec bench/main.exe
+   Fast mode: dune exec bench/main.exe -- --quick  (small benchmarks only) *)
+
+open Bechamel
+module T = Polysynth_report.Tables
+module P = Polysynth_poly.Poly
+module Ring = Polysynth_finite_ring.Canonical
+module Squarefree = Polysynth_factor.Squarefree
+module Extract = Polysynth_cse.Extract
+module Kernel = Polysynth_cse.Kernel
+module Cce = Polysynth_core.Cce
+module Pipe = Polysynth_core.Pipeline
+module Ex = Polysynth_workloads.Examples
+module B = Polysynth_workloads.Benchmarks
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let quick_names = [ "SG 3x2"; "Quad"; "Mibench"; "MVCS" ]
+
+let table_names = if quick then Some quick_names else None
+
+(* ---- part 1: regenerate the paper's tables -------------------------------- *)
+
+let () =
+  print_endline "=== Reproduction of the paper's tables ===";
+  print_newline ();
+  print_string
+    (T.render_counts ~title:"Table 14.1 — decompositions of the motivating system"
+       (T.table_14_1_rows ()));
+  print_newline ();
+  print_string
+    (T.render_counts ~title:"Table 14.2 — Algorithm 7 walk-through"
+       (T.table_14_2_rows ()));
+  print_newline ();
+  print_string (T.render_table_14_3 (T.table_14_3_rows ?names:table_names ()));
+  print_newline ();
+  print_string (T.render_ablation (T.ablation_rows ~names:quick_names ()));
+  print_newline ();
+  print_endline "Fig. 14.1 — representation lists (Table 14.2 system):";
+  print_string (T.fig_14_1_dump ());
+  print_newline ();
+  print_string
+    (T.render_named_ablation
+       ~title:"Extraction strategy — greedy vs KCM prime rectangles"
+       (T.strategy_rows ~names:quick_names ()));
+  print_newline ();
+  print_string
+    (T.render_named_ablation ~title:"Search objective — area/delay/power/ops"
+       (T.objective_rows ()));
+  print_newline ();
+  print_string (T.render_schedule (T.schedule_rows ()));
+  print_newline ();
+  print_endline "Extended workload suite:";
+  print_string (T.render_table_14_3 (T.extended_rows ()));
+  print_newline ();
+  print_string (T.render_implementation (T.implementation_rows ()));
+  print_newline ()
+
+(* ---- part 2: Bechamel timings --------------------------------------------- *)
+
+let sg3 = (Option.get (B.by_name "SG 3x2")).B.polys
+let mvcs = (Option.get (B.by_name "MVCS")).B.polys
+
+let stage f = Staged.stage f
+
+(* one Test.make per table of the paper *)
+let test_table_14_1 =
+  Test.make ~name:"table_14_1" (stage (fun () -> ignore (T.table_14_1_rows ())))
+
+let test_table_14_2 =
+  Test.make ~name:"table_14_2" (stage (fun () -> ignore (T.table_14_2_rows ())))
+
+let test_table_14_3_row =
+  (* one representative row of Table 14.3 (the full table is printed above;
+     timing the 25-polynomial systems per-iteration would take minutes) *)
+  Test.make ~name:"table_14_3_row_quad"
+    (stage (fun () -> ignore (T.table_14_3_rows ~names:[ "Quad" ] ())))
+
+let test_fig_14_1 =
+  Test.make ~name:"fig_14_1" (stage (fun () -> ignore (T.fig_14_1_dump ())))
+
+(* per-stage ablation timings of the pipeline on SG 3x2 *)
+let test_stage_cce =
+  Test.make ~name:"stage_cce"
+    (stage (fun () -> List.iter (fun p -> ignore (Cce.extract p)) sg3))
+
+let test_stage_kernels =
+  Test.make ~name:"stage_kernels"
+    (stage (fun () -> List.iter (fun p -> ignore (Kernel.kernels p)) sg3))
+
+let test_stage_squarefree =
+  Test.make ~name:"stage_squarefree"
+    (stage (fun () -> List.iter (fun p -> ignore (Squarefree.squarefree p)) sg3))
+
+let test_stage_canonical =
+  let ctx = Ring.make_ctx ~out_width:16 () in
+  Test.make ~name:"stage_canonical"
+    (stage (fun () -> List.iter (fun p -> ignore (Ring.canonicalize ctx p)) sg3))
+
+let test_stage_extraction =
+  Test.make ~name:"stage_extraction"
+    (stage (fun () -> ignore (Extract.run ~mode:Extract.Vars_only sg3)))
+
+let test_pipeline_mvcs =
+  Test.make ~name:"pipeline_proposed_mvcs"
+    (stage (fun () -> ignore (Pipe.run ~width:16 Pipe.Proposed mvcs)))
+
+let test_pipeline_table_14_1 =
+  Test.make ~name:"pipeline_proposed_14_1"
+    (stage (fun () -> ignore (Pipe.run ~width:16 Pipe.Proposed Ex.table_14_1)))
+
+let test_stage_kcm =
+  Test.make ~name:"stage_kcm_extraction"
+    (stage (fun () ->
+         ignore (Extract.run ~mode:Extract.Vars_only ~strategy:Extract.Kcm_rectangles sg3)))
+
+let tests =
+  Test.make_grouped ~name:"polysynth" ~fmt:"%s/%s"
+    [
+      test_table_14_1;
+      test_table_14_2;
+      test_table_14_3_row;
+      test_fig_14_1;
+      test_stage_cce;
+      test_stage_kernels;
+      test_stage_squarefree;
+      test_stage_canonical;
+      test_stage_extraction;
+      test_stage_kcm;
+      test_pipeline_mvcs;
+      test_pipeline_table_14_1;
+    ]
+
+let () =
+  print_endline "=== Bechamel timings (ns per call, OLS fit) ===";
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~stabilize:true
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some (v :: _) -> v
+        | Some [] | None -> nan
+      in
+      Printf.printf "  %-36s %12.0f ns/run\n" name ns)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

@@ -1,0 +1,292 @@
+(* Command-line front-end: synthesize a polynomial system from a text file.
+
+   Example:
+     polysynth system.poly --method proposed --width 16 --ring \
+               --verilog out.v --show-program *)
+
+module Parse = Polysynth_poly.Parse
+module Ring = Polysynth_finite_ring.Canonical
+module Prog = Polysynth_expr.Prog
+module Dag = Polysynth_expr.Dag
+module Cost = Polysynth_hw.Cost
+module Verilog = Polysynth_hw.Verilog
+module Netlist = Polysynth_hw.Netlist
+module Power = Polysynth_hw.Power
+module Range = Polysynth_hw.Range
+module Dot = Polysynth_hw.Dot
+module Testbench = Polysynth_hw.Testbench
+module Cemit = Polysynth_hw.Cemit
+module Mcm = Polysynth_hw.Mcm
+module Prog_parse = Polysynth_expr.Prog_parse
+module Stage = Polysynth_hw.Stage
+module Fsmd = Polysynth_hw.Fsmd
+module Schedule = Polysynth_hw.Schedule
+module Pipe = Polysynth_core.Pipeline
+module Search = Polysynth_core.Search
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let evaluate_program input width =
+  match Prog_parse.program (read_input input) with
+  | exception Prog_parse.Parse_error msg ->
+    Printf.eprintf "program error: %s\n" msg;
+    1
+  | prog ->
+    let cost = Polysynth_hw.Cost.of_prog ~width prog in
+    let counts = Prog.counts prog in
+    Printf.printf "given decomposition: MULT=%d ADD=%d area=%d delay=%.1f\n"
+      counts.Dag.mults counts.Dag.adds cost.Cost.area cost.Cost.delay;
+    (* re-synthesize the expanded system for comparison *)
+    let system = List.map snd (Prog.to_polys prog) in
+    let r = Pipe.run ~width Pipe.Proposed system in
+    Printf.printf "proposed flow:       MULT=%d ADD=%d area=%d delay=%.1f\n"
+      r.Pipe.counts.Dag.mults r.Pipe.counts.Dag.adds r.Pipe.cost.Cost.area
+      r.Pipe.cost.Cost.delay;
+    if r.Pipe.cost.Cost.area < cost.Cost.area then
+      Format.printf "better decomposition found:@.%a@." Prog.pp r.Pipe.prog;
+    0
+
+let run_synthesis input method_name width use_ring objective verilog_out
+    dot_out testbench_out fsmd_out c_out use_mcm show_power show_range
+    pipeline_period show_program compare_all evaluate =
+  if evaluate then evaluate_program input width
+  else
+  match Parse.system (read_input input) with
+  | exception Parse.Parse_error msg ->
+    Printf.eprintf "parse error %s\n" msg;
+    1
+  | [] ->
+    Printf.eprintf "no polynomials in input\n";
+    1
+  | polys ->
+    let ctx = if use_ring then Some (Ring.make_ctx ~out_width:width ()) else None in
+    let options = { (Search.default_options ~width) with Search.objective } in
+    let print_report r =
+      Printf.printf "%-12s MULT=%d ADD=%d area=%d delay=%.1f%s\n"
+        (Pipe.method_label r.Pipe.method_name)
+        r.Pipe.counts.Dag.mults r.Pipe.counts.Dag.adds r.Pipe.cost.Cost.area
+        r.Pipe.cost.Cost.delay
+        (match r.Pipe.labels with
+         | [] -> ""
+         | labels -> "  [" ^ String.concat "," labels ^ "]")
+    in
+    let reports =
+      if compare_all then Pipe.compare_methods ?ctx ~options ~width polys
+      else [ Pipe.run ?ctx ~options ~width method_name polys ]
+    in
+    List.iter print_report reports;
+    let main_report = List.nth reports (List.length reports - 1) in
+    let verified = Pipe.verify ?ctx polys main_report.Pipe.prog in
+    Printf.printf "verified: %b%s\n" verified
+      (if use_ring then " (as bit-vector functions)" else " (exact)");
+    if show_program then
+      Format.printf "@.program:@.%a@." Prog.pp main_report.Pipe.prog;
+    let netlist =
+      lazy
+        (let n = Netlist.of_prog ~width main_report.Pipe.prog in
+         if use_mcm then Mcm.optimize n else n)
+    in
+    if use_mcm then begin
+      let r = Cost.of_netlist (Lazy.force netlist) in
+      Printf.printf "after MCM: area=%d delay=%.1f\n" r.Cost.area r.Cost.delay
+    end;
+    if show_power then begin
+      let p = Power.estimate (Lazy.force netlist) in
+      Format.printf "%a@." Power.pp_report p
+    end;
+    (match pipeline_period with
+     | None -> ()
+     | Some period ->
+       let st = Stage.cut ~target_period:period (Lazy.force netlist) in
+       Printf.printf
+         "pipelining at period %.1f: %d stage(s), %d pipeline register(s), \
+          achieved period %.1f\n"
+         period st.Stage.num_stages st.Stage.pipeline_registers
+         st.Stage.achieved_period);
+    if show_range then begin
+      let n = Lazy.force netlist in
+      Printf.printf
+        "range analysis: widest intermediate needs %d bits (growth %d over \
+         the %d-bit datapath)\n"
+        (Range.max_required_width n) (Range.growth n) width
+    end;
+    let write path contents =
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      Printf.printf "wrote %s\n" path
+    in
+    (match verilog_out with
+     | None -> ()
+     | Some path ->
+       write path
+         (Verilog.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
+    (match dot_out with
+     | None -> ()
+     | Some path -> write path (Dot.of_netlist (Lazy.force netlist)));
+    (match fsmd_out with
+     | None -> ()
+     | Some path ->
+       let fsmd =
+         Fsmd.build { Schedule.multipliers = 1; adders = 1 } (Lazy.force netlist)
+       in
+       Printf.printf
+         "fsmd: %d states, %d registers, %d micro-ops (1 multiplier, 1 adder)\n"
+         fsmd.Fsmd.num_states fsmd.Fsmd.num_registers
+         (List.length fsmd.Fsmd.micro_ops);
+       write path (Fsmd.to_verilog ~module_name:"polysynth_fsmd" fsmd));
+    (match testbench_out with
+     | None -> ()
+     | Some path ->
+       write path
+         (Testbench.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
+    (match c_out with
+     | None -> ()
+     | Some path ->
+       write path
+         (Cemit.emit ~func_name:"polysynth_dut" ~self_check:16
+            (Lazy.force netlist)));
+    if verified then 0 else 2
+
+let input_arg =
+  let doc =
+    "Input file with one polynomial per line or ';'-separated (use '-' for \
+     stdin).  Syntax: 4*x^2*y - 3*x + 7; '#' starts a comment."
+  in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let method_arg =
+  let methods =
+    [
+      ("direct", Pipe.Direct);
+      ("horner", Pipe.Horner);
+      ("factor-cse", Pipe.Factor_cse);
+      ("proposed", Pipe.Proposed);
+    ]
+  in
+  let doc =
+    "Synthesis method: direct, horner, factor-cse (the [13] baseline) or \
+     proposed (the paper's integrated flow)."
+  in
+  Arg.(
+    value
+    & opt (enum methods) Pipe.Proposed
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let width_arg =
+  let doc = "Datapath bit-width (the m of Z_2^m)." in
+  Arg.(value & opt int 16 & info [ "w"; "width" ] ~docv:"BITS" ~doc)
+
+let ring_arg =
+  let doc =
+    "Optimize modulo 2^width: enables the canonical-form representations \
+     (the result equals the input as a bit-vector function, not as an \
+     integer polynomial)."
+  in
+  Arg.(value & flag & info [ "ring" ] ~doc)
+
+let objective_arg =
+  let objectives =
+    [
+      ("area", Search.Min_area);
+      ("delay", Search.Min_delay);
+      ("power", Search.Min_power);
+      ("ops", Search.Min_ops);
+    ]
+  in
+  let doc = "Optimization objective: area (default, as in the paper), delay, \
+             power (switching-activity estimate) or ops." in
+  Arg.(
+    value
+    & opt (enum objectives) Search.Min_area
+    & info [ "objective" ] ~docv:"OBJ" ~doc)
+
+let verilog_arg =
+  let doc = "Emit synthesizable Verilog for the chosen decomposition." in
+  Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE" ~doc)
+
+let dot_arg =
+  let doc = "Emit a Graphviz DOT graph of the operator netlist." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let testbench_arg =
+  let doc = "Emit a self-checking Verilog testbench for the decomposition." in
+  Arg.(value & opt (some string) None & info [ "testbench" ] ~docv:"FILE" ~doc)
+
+let c_arg =
+  let doc =
+    "Emit self-checking C code for the decomposition (compile and run it \
+     to validate the implementation)."
+  in
+  Arg.(value & opt (some string) None & info [ "emit-c" ] ~docv:"FILE" ~doc)
+
+let mcm_arg =
+  let doc =
+    "Lower constant multiplications to shared shift-add networks (multiple \
+     constant multiplication) before reporting/emitting."
+  in
+  Arg.(value & flag & info [ "mcm" ] ~doc)
+
+let power_arg =
+  let doc = "Report the switching-activity power estimate." in
+  Arg.(value & flag & info [ "power" ] ~doc)
+
+let range_arg =
+  let doc = "Report the bit-width range analysis of the intermediates." in
+  Arg.(value & flag & info [ "range" ] ~doc)
+
+let fsmd_arg =
+  let doc =
+    "Emit a sequential FSM-with-datapath Verilog implementation \
+     (time-multiplexed onto one multiplier and one adder)."
+  in
+  Arg.(value & opt (some string) None & info [ "fsmd" ] ~docv:"FILE" ~doc)
+
+let pipeline_arg =
+  let doc = "Cut the netlist into pipeline stages for the given clock \
+             period and report depth and register cost." in
+  Arg.(value & opt (some float) None & info [ "pipeline" ] ~docv:"PERIOD" ~doc)
+
+let show_program_arg =
+  let doc = "Print the chosen decomposition as a straight-line program." in
+  Arg.(value & flag & info [ "show-program" ] ~doc)
+
+let compare_arg =
+  let doc = "Run all four methods and print one report line each." in
+  Arg.(value & flag & info [ "compare" ] ~doc)
+
+let evaluate_arg =
+  let doc =
+    "Treat the input as a decomposition program (one 'name = polynomial' \
+     definition per line; unreferenced names are outputs): report its cost \
+     and compare it with what the proposed flow finds."
+  in
+  Arg.(value & flag & info [ "evaluate" ] ~doc)
+
+let cmd =
+  let doc = "area-driven synthesis of polynomial datapath systems" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads a system of multivariate polynomials over bit-vectors and \
+         decomposes it for hardware implementation using the algebraic \
+         techniques of Gopalakrishnan & Kalla (DATE 2009): canonical forms \
+         over Z_2^m, square-free factorization, common coefficient \
+         extraction, kernel/co-kernel cube extraction and algebraic \
+         division, integrated with common sub-expression extraction.";
+    ]
+  in
+  let term =
+    Term.(
+      const run_synthesis $ input_arg $ method_arg $ width_arg $ ring_arg
+      $ objective_arg $ verilog_arg $ dot_arg $ testbench_arg $ fsmd_arg
+      $ c_arg $ mcm_arg $ power_arg $ range_arg $ pipeline_arg
+      $ show_program_arg $ compare_arg $ evaluate_arg)
+  in
+  Cmd.v (Cmd.info "polysynth" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval' cmd)

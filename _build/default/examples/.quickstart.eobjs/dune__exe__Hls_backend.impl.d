@@ -1,0 +1,1 @@
+examples/hls_backend.ml: Format List Polysynth_core Polysynth_expr Polysynth_hw Polysynth_poly String

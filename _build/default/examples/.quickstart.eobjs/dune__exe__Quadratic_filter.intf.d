@@ -1,0 +1,1 @@
+examples/quadratic_filter.mli:

@@ -1,0 +1,1 @@
+examples/savitzky_golay_filter.mli:

@@ -1,0 +1,1 @@
+lib/core/algdiv.ml: Blocks Blocktab Cce List Map Polysynth_cse Polysynth_expr Polysynth_factor Polysynth_poly Polysynth_zint Stdlib

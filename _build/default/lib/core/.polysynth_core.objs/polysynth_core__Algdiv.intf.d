@@ -1,0 +1,1 @@
+lib/core/algdiv.mli: Blocktab Polysynth_expr Polysynth_poly

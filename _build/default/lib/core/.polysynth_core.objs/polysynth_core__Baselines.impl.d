@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Horner List Polysynth_cse Polysynth_expr Polysynth_poly

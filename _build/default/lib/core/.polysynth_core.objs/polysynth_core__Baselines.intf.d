@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Polysynth_expr Polysynth_poly

@@ -1,0 +1,1 @@
+lib/core/blocks.ml: Cce List Polysynth_cse Polysynth_factor Polysynth_poly Polysynth_zint Set Stdlib

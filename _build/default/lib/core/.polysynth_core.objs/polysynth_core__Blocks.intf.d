@@ -1,0 +1,1 @@
+lib/core/blocks.mli: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/core/blocktab.ml: List Option Polysynth_expr Polysynth_poly Printf

@@ -1,0 +1,1 @@
+lib/core/blocktab.mli: Polysynth_expr Polysynth_poly

@@ -1,0 +1,1 @@
+lib/core/canonical_rep.ml: Blocktab List Polysynth_expr Polysynth_finite_ring Polysynth_poly Polysynth_zint

@@ -1,0 +1,1 @@
+lib/core/cce.ml: List Polysynth_poly Polysynth_zint Set

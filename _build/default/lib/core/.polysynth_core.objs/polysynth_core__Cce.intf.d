@@ -1,0 +1,1 @@
+lib/core/cce.mli: Polysynth_poly Polysynth_zint

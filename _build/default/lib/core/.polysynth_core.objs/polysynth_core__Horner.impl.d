@@ -1,0 +1,1 @@
+lib/core/horner.ml: List Polysynth_expr Polysynth_poly Stdlib String

@@ -1,0 +1,1 @@
+lib/core/horner.mli: Polysynth_expr Polysynth_poly

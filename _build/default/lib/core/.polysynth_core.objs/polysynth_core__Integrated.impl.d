@@ -1,0 +1,1 @@
+lib/core/integrated.ml: Algdiv Blocks Blocktab Cce List Polysynth_cse Polysynth_expr Polysynth_poly Polysynth_zint Printf String

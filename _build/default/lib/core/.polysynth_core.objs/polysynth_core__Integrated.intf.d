@@ -1,0 +1,1 @@
+lib/core/integrated.mli: Polysynth_cse Polysynth_expr Polysynth_poly

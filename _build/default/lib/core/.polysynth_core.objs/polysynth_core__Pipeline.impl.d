@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Baselines Integrated List Polysynth_expr Polysynth_finite_ring Polysynth_hw Polysynth_poly Printf Represent Search

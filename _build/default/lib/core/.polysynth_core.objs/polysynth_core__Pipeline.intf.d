@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Polysynth_expr Polysynth_finite_ring Polysynth_hw Polysynth_poly Search

@@ -1,0 +1,1 @@
+lib/core/represent.mli: Blocktab Polysynth_expr Polysynth_finite_ring Polysynth_poly

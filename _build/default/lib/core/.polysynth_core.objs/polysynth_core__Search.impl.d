@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Blocktab List Polysynth_expr Polysynth_hw Printf Represent String

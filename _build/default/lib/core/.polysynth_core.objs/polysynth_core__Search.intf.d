@@ -1,0 +1,1 @@
+lib/core/search.mli: Polysynth_expr Polysynth_hw Represent

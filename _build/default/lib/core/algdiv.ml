@@ -1,0 +1,149 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+module Monomial = Polysynth_poly.Monomial
+module Expr = Polysynth_expr.Expr
+module Dag = Polysynth_expr.Dag
+module Kernel = Polysynth_cse.Kernel
+module Squarefree = Polysynth_factor.Squarefree
+
+module PolyMap = Map.Make (Poly)
+
+type session = {
+  table : Blocktab.t;
+  divs : Poly.t list;
+  mutable memo : Expr.t PolyMap.t;
+}
+
+let make_session table ~divisors = { table; divs = divisors; memo = PolyMap.empty }
+
+let divisors s = s.divs
+
+let cost e = Dag.total_ops (Dag.tree_counts e)
+
+let cheapest candidates =
+  match candidates with
+  | [] -> invalid_arg "Algdiv.cheapest: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun best cand -> if cost cand < cost best then cand else best)
+      first rest
+
+(* expression for a possibly non-normalized linear root: strip the content
+   onto a constant factor and reference the divisor block *)
+let root_expr s root =
+  let n = Blocks.normalize root in
+  if Blocks.is_linear n then begin
+    let const_ratio =
+      match Poly.div_exact root n with
+      | Some c -> Poly.to_const_opt c
+      | None -> None
+    in
+    match const_ratio with
+    | Some c ->
+      Expr.mul [ Expr.const c; Expr.var (Blocktab.divisor_var s.table n) ]
+    | None -> Expr.of_poly root
+  end
+  else Expr.of_poly root
+
+(* Recursion is bounded: a polynomial reached [max_depth] levels down is
+   rendered directly.  Datapath polynomials are shallow, and without a
+   bound the 6-divisor branching on random degree-4 systems visits
+   thousands of intermediate polynomials, each paying a square-free
+   factorization. *)
+let max_depth = 4
+
+(* cheap necessary condition for p = root^k: the leading coefficient must
+   itself be a perfect power *)
+let could_be_perfect_power p =
+  (not (Poly.is_const p))
+  && Poly.degree p >= 2
+  && Poly.num_terms p <= 12
+  &&
+  let lc = Z.abs (fst (Poly.leading p)) in
+  Z.is_one lc
+  || List.exists
+       (fun k -> Squarefree.integer_root lc k <> None)
+       [ 2; 3; 5; 7 ]
+
+let rec decompose ?(depth = 0) s p =
+  match PolyMap.find_opt p s.memo with
+  | Some e -> e
+  | None ->
+    (* break potential cycles defensively: memoize the direct form first,
+       then overwrite with the winner *)
+    s.memo <- PolyMap.add p (Expr.of_poly p) s.memo;
+    let result = choose depth s p in
+    s.memo <- PolyMap.add p result s.memo;
+    result
+
+and choose depth s p =
+  if Poly.is_zero p || Poly.is_const p then Expr.of_poly p
+  else begin
+    let deeper = decompose ~depth:(depth + 1) s in
+    let direct = Expr.of_poly p in
+    let content_candidate =
+      let pp = Poly.primitive_part p in
+      match Poly.div_exact p pp with
+      | Some c ->
+        (match Poly.to_const_opt c with
+         | Some c when not (Z.is_one (Z.abs c)) && Poly.num_terms p >= 2 ->
+           [ Expr.mul [ Expr.const c; deeper pp ] ]
+         | Some _ | None -> [])
+      | None -> []
+    in
+    let power_candidate =
+      if not (could_be_perfect_power p) then []
+      else
+        match Squarefree.perfect_power_root p with
+        | Some (root, k) when not (Poly.is_const root) ->
+          [ Expr.pow (root_expr s root) k ]
+        | Some _ | None -> []
+    in
+    let structural_candidates =
+      if depth >= max_depth then []
+      else begin
+        let division_candidates =
+          List.filter_map
+            (fun d ->
+              let q, r = Poly.div_rem p d in
+              if Poly.is_zero q then None
+              else begin
+                let dv = Blocktab.divisor_var s.table d in
+                Some
+                  (Expr.add [ Expr.mul [ Expr.var dv; deeper q ]; deeper r ])
+              end)
+            s.divs
+        in
+        let cce_candidate =
+          let r = Cce.extract p in
+          match r.Cce.groups with
+          | [] -> []
+          | groups ->
+            [ Expr.add
+                (List.map
+                   (fun (g, b) -> Expr.mul [ Expr.const g; deeper b ])
+                   groups
+                @ [ deeper r.Cce.residual ]) ]
+        in
+        let kernel_candidate =
+          let ks =
+            Kernel.kernels p
+            |> List.filter (fun (ck, _) -> not (Monomial.is_one ck))
+            |> List.stable_sort (fun (ck1, k1) (ck2, k2) ->
+                   let score (ck, k) = Poly.num_terms k * Monomial.degree ck in
+                   Stdlib.compare (score (ck2, k2)) (score (ck1, k1)))
+          in
+          match ks with
+          | [] -> []
+          | (ck, k) :: _ ->
+            let rest = Poly.sub p (Poly.mul_term Z.one ck k) in
+            [ Expr.add
+                [ Expr.mul (Expr.of_poly (Poly.monomial ck) :: [ deeper k ]);
+                  deeper rest ] ]
+        in
+        division_candidates @ cce_candidate @ kernel_candidate
+      end
+    in
+    cheapest
+      ((direct :: content_candidate) @ power_candidate @ structural_candidates)
+  end

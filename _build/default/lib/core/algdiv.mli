@@ -1,0 +1,30 @@
+(** Algebraic division by linear building blocks (Section 14.4.3) and the
+    recursive decomposition it drives.
+
+    Given the divisor set exposed by CCE, cube extraction and square-free
+    factorization, [decompose] rewrites a polynomial as the cheapest of:
+    - its direct sum-of-products form;
+    - integer content times a decomposed primitive part;
+    - a perfect power of a (typically linear) root;
+    - [d * Q + R] for a divisor [d], with [Q] and [R] decomposed
+      recursively — this is the move that turns
+      [13x^2 + 26xy + 13y^2 + 7x - 7y + 11] into [13*d1^2 + 7*d2 + 11];
+    - co-kernel factoring [c * K + rest] with [K] decomposed recursively.
+
+    Divisors used by the chosen form are registered in the block table and
+    appear as variables in the result. *)
+
+module Poly := Polysynth_poly.Poly
+module Expr := Polysynth_expr.Expr
+
+type session
+
+val make_session : Blocktab.t -> divisors:Poly.t list -> session
+
+val decompose : ?depth:int -> session -> Poly.t -> Expr.t
+(** Best decomposition found; expands back to the input polynomial (with
+    block variables replaced by their definitions).  [depth] is the
+    internal recursion level (structural rewrites stop after 4 levels);
+    callers normally omit it. *)
+
+val divisors : session -> Poly.t list

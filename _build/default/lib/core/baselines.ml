@@ -1,0 +1,11 @@
+module Poly = Polysynth_poly.Poly
+module Expr = Polysynth_expr.Expr
+module Prog = Polysynth_expr.Prog
+module Extract = Polysynth_cse.Extract
+
+let direct polys = Prog.of_exprs (List.map Expr.of_poly polys)
+
+let horner polys = Prog.of_exprs (List.map Horner.rep polys)
+
+let factor_cse polys =
+  (Extract.run ~mode:Extract.Coeff_literals ~signs:false polys).Extract.prog

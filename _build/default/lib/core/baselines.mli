@@ -1,0 +1,11 @@
+(** The comparison points of the paper's experiments: direct
+    implementation, multivariate Horner decomposition (MATLAB), and
+    factoring with kernel/co-kernel CSE (the JuanCSE flow of reference
+    [13], with coefficients treated as literals). *)
+
+module Poly := Polysynth_poly.Poly
+module Prog := Polysynth_expr.Prog
+
+val direct : Poly.t list -> Prog.t
+val horner : Poly.t list -> Prog.t
+val factor_cse : Poly.t list -> Prog.t

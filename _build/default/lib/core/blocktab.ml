@@ -1,0 +1,40 @@
+module Poly = Polysynth_poly.Poly
+module Expr = Polysynth_expr.Expr
+
+type entry = { name : string; poly : Poly.t; def : Expr.t }
+
+type t = { mutable entries : entry list; mutable counter : int }
+
+let create () = { entries = []; counter = 0 }
+
+let find tab poly =
+  List.find_opt (fun e -> Poly.equal e.poly poly) tab.entries
+
+let divisor_var tab poly =
+  match find tab poly with
+  | Some e -> e.name
+  | None ->
+    tab.counter <- tab.counter + 1;
+    let name = Printf.sprintf "d%d" tab.counter in
+    tab.entries <-
+      tab.entries @ [ { name; poly; def = Expr.of_poly poly } ];
+    name
+
+let y2_var tab v =
+  let poly = Poly.mul (Poly.var v) (Poly.sub (Poly.var v) Poly.one) in
+  match find tab poly with
+  | Some e -> e.name
+  | None ->
+    let name = Printf.sprintf "y2_%s" v in
+    let def =
+      Expr.mul [ Expr.var v; Expr.sub (Expr.var v) Expr.one ]
+    in
+    tab.entries <- tab.entries @ [ { name; poly; def } ];
+    name
+
+let bindings tab = List.map (fun e -> (e.name, e.def)) tab.entries
+
+let defs tab = List.map (fun e -> (e.name, e.poly)) tab.entries
+
+let lookup_divisor tab poly =
+  Option.map (fun e -> e.name) (find tab poly)

@@ -1,0 +1,29 @@
+(** Naming table for shared building blocks.
+
+    Divisor blocks get names [d1, d2, ...] (as in the paper's worked
+    examples); falling-factorial base blocks [Y_2(x) = x*(x-1)] get names
+    derived from their variable.  Every block definition refers only to the
+    input variables, so the bindings can be emitted in registration order. *)
+
+module Poly := Polysynth_poly.Poly
+module Expr := Polysynth_expr.Expr
+
+type t
+
+val create : unit -> t
+
+val divisor_var : t -> Poly.t -> string
+(** Register (or look up) a divisor block for the given normalized
+    polynomial; its definition is the direct expression of the polynomial
+    (divisors are linear, so the direct form is already optimal). *)
+
+val y2_var : t -> string -> string
+(** Register (or look up) the block [Y_2(v) = v*(v - 1)]. *)
+
+val bindings : t -> (string * Expr.t) list
+(** All registered definitions, in registration order. *)
+
+val defs : t -> (string * Poly.t) list
+(** Polynomial value of each block (for verification). *)
+
+val lookup_divisor : t -> Poly.t -> string option

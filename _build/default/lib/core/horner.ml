@@ -1,0 +1,32 @@
+module Poly = Polysynth_poly.Poly
+module Monomial = Polysynth_poly.Monomial
+module Expr = Polysynth_expr.Expr
+
+let best_variable p =
+  let count v =
+    List.length
+      (List.filter (fun (_, m) -> Monomial.mentions v m) (Poly.terms p))
+  in
+  let ranked =
+    List.map (fun v -> (count v, v)) (Poly.vars p)
+    |> List.filter (fun (c, _) -> c >= 2)
+    |> List.stable_sort (fun (a, va) (b, vb) ->
+           if a <> b then Stdlib.compare b a else String.compare va vb)
+  in
+  match ranked with [] -> None | (_, v) :: _ -> Some v
+
+let rec rep p =
+  if Poly.is_zero p || Poly.is_const p then Expr.of_poly p
+  else
+    match best_variable p with
+    | None -> Expr.of_poly p
+    | Some v ->
+      let coeffs = Poly.coeffs_in v p in
+      let r = match List.assoc_opt 0 coeffs with Some c -> c | None -> Poly.zero in
+      let q =
+        Poly.of_coeffs_in v
+          (List.filter_map
+             (fun (k, c) -> if k = 0 then None else Some (k - 1, c))
+             coeffs)
+      in
+      Expr.add [ Expr.mul [ Expr.var v; rep q ]; rep r ]

@@ -1,0 +1,15 @@
+(** Multivariate Horner decomposition (the MATLAB baseline of the paper's
+    experiments).
+
+    Recursively factors the most frequently occurring variable:
+    [p = v * q + r] with [r] free of [v], then recurses into [q] and [r]. *)
+
+module Poly := Polysynth_poly.Poly
+module Expr := Polysynth_expr.Expr
+
+val rep : Poly.t -> Expr.t
+(** Horner-form expression of the polynomial (equal to it as a function). *)
+
+val best_variable : Poly.t -> string option
+(** The variable occurring in the most terms (ties broken alphabetically);
+    [None] when no variable occurs in two or more terms. *)

@@ -1,0 +1,57 @@
+(** The end-to-end synthesis flow of Algorithm 7 ([Poly_Synth]) and the
+    benchmark drivers around it.
+
+    Given a polynomial system over a bit-vector ring, the proposed flow
+    builds the representation lists (canonical and square-free forms, CCE,
+    cube extraction, algebraic division by the exposed linear blocks),
+    searches the combinations with CSE-aware cost, and returns the best
+    decomposition together with its estimated hardware cost. *)
+
+module Poly := Polysynth_poly.Poly
+module Prog := Polysynth_expr.Prog
+module Dag := Polysynth_expr.Dag
+module Cost := Polysynth_hw.Cost
+module Canonical := Polysynth_finite_ring.Canonical
+
+type method_name = Direct | Horner | Factor_cse | Proposed
+
+val method_label : method_name -> string
+
+type report = {
+  method_name : method_name;
+  prog : Prog.t;
+  counts : Dag.counts;  (** post-CSE MULT/ADD counts *)
+  cost : Cost.report;  (** estimated hardware area and delay *)
+  labels : string list;  (** chosen representation per polynomial
+                             (Proposed only; empty otherwise) *)
+}
+
+val run :
+  ?ctx:Canonical.ctx ->
+  ?options:Search.options ->
+  width:int ->
+  method_name ->
+  Poly.t list ->
+  report
+
+val synthesize :
+  ?ctx:Canonical.ctx ->
+  ?options:Search.options ->
+  width:int ->
+  Poly.t list ->
+  report
+(** [run Proposed]. *)
+
+val compare_methods :
+  ?ctx:Canonical.ctx ->
+  ?options:Search.options ->
+  width:int ->
+  Poly.t list ->
+  report list
+(** All four methods on the same system, in declaration order of
+    {!method_name}. *)
+
+val verify : ?ctx:Canonical.ctx -> Poly.t list -> Prog.t -> bool
+(** Does the program compute the system?  Exact polynomial equality when no
+    ring context is given; equality of bit-vector functions (via canonical
+    forms) when one is. *)

@@ -1,0 +1,215 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+module Expr = Polysynth_expr.Expr
+module Canonical = Polysynth_finite_ring.Canonical
+module Squarefree = Polysynth_factor.Squarefree
+module Ted = Polysynth_ted.Ted
+module Buchberger = Polysynth_groebner.Buchberger
+
+type semantics = Exact | ModRing
+
+type rep = { label : string; expr : Expr.t; semantics : semantics }
+
+type t = {
+  table : Blocktab.t;
+  divisors : Poly.t list;
+  polys : Poly.t array;
+  reps : rep list array;
+  ctx : Canonical.ctx option;
+}
+
+let squarefree_rep session p =
+  if Poly.is_zero p || Poly.is_const p then None
+  else begin
+    let f = Squarefree.squarefree p in
+    if Squarefree.is_trivial f then None
+    else
+      Some
+        (Expr.mul
+           (Expr.const f.Squarefree.unit_part
+           :: List.map
+                (fun (s, k) -> Expr.pow (Algdiv.decompose session s) k)
+                f.Squarefree.factors))
+  end
+
+(* fold coefficients into their cheapest representative modulo 2^m
+   (references [10, 11]: adding multiples of 2^m never changes the
+   bit-vector function, and e.g. 65535*x is one subtraction as -x).
+   The fold picks whichever of c mod 2^m and its negative counterpart has
+   fewer CSD digits. *)
+let coeff_fold_rep ctx session p =
+  let m = Canonical.out_width ctx in
+  let modulus = Polysynth_zint.Zint.pow2 m in
+  let fold c =
+    let r = snd (Polysynth_zint.Zint.ediv_rem c modulus) in
+    let alt = Polysynth_zint.Zint.sub r modulus in
+    if
+      Polysynth_hw.Cost.csd_digits alt < Polysynth_hw.Cost.csd_digits r
+    then alt
+    else r
+  in
+  let folded =
+    Poly.of_terms
+      (List.map (fun (c, mono) -> (fold c, mono)) (Poly.terms p))
+  in
+  if Poly.equal folded p then None
+  else Some (Algdiv.decompose session folded)
+
+(* canonicalize groups of terms with the same variable support
+   independently, keeping a group in its (decomposed) power form when the
+   falling-factorial form is more expensive: the paper's Table 14.2
+   decomposition keeps 3z^2 direct while the xy-part becomes
+   5*Y3(x)*Y2(y) *)
+let canonical_split_rep ctx table session p =
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (c, m) ->
+      let key = Polysynth_poly.Monomial.vars m in
+      if not (Hashtbl.mem groups key) then order := key :: !order;
+      let prev =
+        match Hashtbl.find_opt groups key with
+        | Some q -> q
+        | None -> Poly.zero
+      in
+      Hashtbl.replace groups key (Poly.add prev (Poly.term c m)))
+    (Poly.terms p);
+  let keys = List.rev !order in
+  if List.length keys <= 1 then None
+  else begin
+    let tree_cost e =
+      Polysynth_expr.Dag.total_ops (Polysynth_expr.Dag.tree_counts e)
+    in
+    let part key =
+      let q = Hashtbl.find groups key in
+      let canonical = Canonical_rep.rep ctx table q in
+      let plain = Algdiv.decompose session q in
+      if tree_cost canonical < tree_cost plain then canonical else plain
+    in
+    Some (Expr.add (List.map part keys))
+  end
+
+(* complete factorization for univariate polynomials (Berlekamp +
+   Hensel): exposes irreducible factors square-free factorization cannot
+   split, e.g. x^4 + x^2 + 1 = (x^2+x+1)(x^2-x+1) *)
+let factorize_rep session p =
+  match Poly.vars p with
+  | [ v ] when Poly.degree_in v p >= 2 ->
+    let f = Polysynth_factor.Factorize.factor v p in
+    (match f.Polysynth_factor.Factorize.factors with
+     | [ (_, 1) ] | [] -> None
+     | factors ->
+       Some
+         (Expr.mul
+            (Expr.const f.Polysynth_factor.Factorize.unit_part
+            :: List.map
+                 (fun (g, k) -> Expr.pow (Algdiv.decompose session g) k)
+                 factors)))
+  | _ -> None
+
+let cce_rep session p =
+  let r = Cce.extract p in
+  if r.Cce.groups = [] then None
+  else
+    Some
+      (Expr.add
+         (List.map
+            (fun (g, b) ->
+              Expr.mul [ Expr.const g; Algdiv.decompose session b ])
+            r.Cce.groups
+         @ [ Algdiv.decompose session r.Cce.residual ]))
+
+(* Groebner-basis library rewriting (after Peymandoust & De Micheli):
+   eliminate the input variables in favour of the discovered divisor
+   blocks; the lex normal form is the rewriting over the block library *)
+let groebner_rep table divisors p =
+  if Poly.is_zero p || Poly.is_const p then None
+  else begin
+    let library =
+      List.filteri (fun i _ -> i < 8) divisors
+      |> List.map (fun d -> (Blocktab.divisor_var table d, d))
+    in
+    match Buchberger.rewrite_with_library ~library p with
+    | exception Failure _ -> None
+    | None -> None
+    | Some (e, _) -> Some e
+  end
+
+let dedup reps =
+  let rec go seen = function
+    | [] -> []
+    | r :: rest ->
+      if List.exists (fun r' -> Expr.equal r'.expr r.expr) seen then go seen rest
+      else r :: go (r :: seen) rest
+  in
+  go [] reps
+
+let build ?ctx ?max_blocks polys =
+  let table = Blocktab.create () in
+  let divisors = Blocks.discover ?max_blocks polys in
+  let session = Algdiv.make_session table ~divisors in
+  (* one TED manager for the whole system: sub-functions shared across
+     polynomials land on shared nodes, and decompose emits identical
+     sub-expressions for them, which the DAG then merges *)
+  let ted_manager = Ted.create () in
+  let reps_of p =
+    let exact label expr = Some { label; expr; semantics = Exact } in
+    let candidates =
+      [
+        exact "direct" (Expr.of_poly p);
+        exact "horner" (Horner.rep p);
+        (match squarefree_rep session p with
+         | Some e -> exact "sqfree" e
+         | None -> None);
+        (match factorize_rep session p with
+         | Some e -> exact "factorize" e
+         | None -> None);
+        (match ctx with
+         | Some ctx ->
+           Some
+             {
+               label = "canonical";
+               expr = Canonical_rep.rep ctx table p;
+               semantics = ModRing;
+             }
+         | None -> None);
+        (match ctx with
+         | Some ctx ->
+           (match canonical_split_rep ctx table session p with
+            | Some e ->
+              Some { label = "canonical_split"; expr = e; semantics = ModRing }
+            | None -> None)
+         | None -> None);
+        (match ctx with
+         | Some ctx ->
+           (match coeff_fold_rep ctx session p with
+            | Some e ->
+              Some { label = "coeff_fold"; expr = e; semantics = ModRing }
+            | None -> None)
+         | None -> None);
+        (match cce_rep session p with
+         | Some e -> exact "cce" e
+         | None -> None);
+        exact "algdiv" (Algdiv.decompose session p);
+        exact "ted" (Ted.decompose ted_manager (Ted.of_poly ted_manager p));
+        (match groebner_rep table divisors p with
+         | Some e -> exact "groebner" e
+         | None -> None);
+      ]
+    in
+    dedup (List.filter_map Fun.id candidates)
+  in
+  {
+    table;
+    divisors;
+    polys = Array.of_list polys;
+    reps = Array.of_list (List.map reps_of polys);
+    ctx;
+  }
+
+let num_combinations t =
+  Array.fold_left
+    (fun acc reps ->
+      let n = List.length reps in
+      if acc > max_int / (max n 1) then max_int else acc * n)
+    1 t.reps

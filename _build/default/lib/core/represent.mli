@@ -1,0 +1,33 @@
+(** The polynomial data structure of Fig. 14.1: for every polynomial of the
+    system, a list of candidate representations produced by the different
+    transformations, sharing one table of named building blocks.
+
+    Representations labelled [ModRing] equal the original polynomial only
+    as a bit-vector function over the given ring (canonical forms);
+    [Exact] representations expand back to the original polynomial over the
+    integers. *)
+
+module Poly := Polysynth_poly.Poly
+module Expr := Polysynth_expr.Expr
+module Canonical := Polysynth_finite_ring.Canonical
+
+type semantics = Exact | ModRing
+
+type rep = { label : string; expr : Expr.t; semantics : semantics }
+
+type t = {
+  table : Blocktab.t;
+  divisors : Poly.t list;
+  polys : Poly.t array;
+  reps : rep list array;  (** non-empty for each polynomial *)
+  ctx : Canonical.ctx option;
+}
+
+val build : ?ctx:Canonical.ctx -> ?max_blocks:int -> Poly.t list -> t
+(** Representation lists contain, where applicable and distinct: the
+    direct form, the Horner form, the square-free factored form, the
+    canonical form (when [ctx] is given), the CCE decomposition, and the
+    best algebraic-division decomposition. *)
+
+val num_combinations : t -> int
+(** Product of the representation-list lengths (capped at [max_int]). *)

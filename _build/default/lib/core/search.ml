@@ -1,0 +1,153 @@
+module Expr = Polysynth_expr.Expr
+module Prog = Polysynth_expr.Prog
+module Dag = Polysynth_expr.Dag
+module Cost = Polysynth_hw.Cost
+
+type objective = Min_area | Min_delay | Min_power | Min_ops
+
+type options = {
+  width : int;
+  model : Cost.model;
+  objective : objective;
+  exhaustive_limit : int;
+  sweeps : int;
+}
+
+let default_options ~width =
+  {
+    width;
+    model = Cost.default;
+    objective = Min_area;
+    exhaustive_limit = 4096;
+    sweeps = 4;
+  }
+
+type selection = {
+  prog : Prog.t;
+  labels : string list;
+  cost : Cost.report;
+  counts : Dag.counts;
+  combinations_evaluated : int;
+  exhaustive : bool;
+}
+
+let prog_of_choice (r : Represent.t) choice =
+  let outputs =
+    List.mapi
+      (fun i (rep : Represent.rep) ->
+        (Printf.sprintf "P%d" (i + 1), rep.Represent.expr))
+      choice
+  in
+  let used =
+    List.concat_map (fun (_, e) -> Expr.vars e) outputs
+    |> List.sort_uniq String.compare
+  in
+  let bindings =
+    List.filter (fun (n, _) -> List.mem n used) (Blocktab.bindings r.Represent.table)
+  in
+  { Prog.bindings; outputs }
+
+(* lexicographic objective key *)
+let score_full options prog =
+  let cost = Cost.of_prog ~model:options.model ~width:options.width prog in
+  let counts = Prog.counts prog in
+  let area = float_of_int cost.Cost.area in
+  let ops = float_of_int (Dag.total_ops counts) in
+  let key =
+    match options.objective with
+    | Min_area -> [| area; cost.Cost.delay; ops |]
+    | Min_delay -> [| cost.Cost.delay; area; ops |]
+    | Min_power ->
+      let netlist = Polysynth_hw.Netlist.of_prog ~width:options.width prog in
+      let power = Polysynth_hw.Power.estimate ~samples:16 netlist in
+      [| power.Polysynth_hw.Power.total; area; ops |]
+    | Min_ops -> [| ops; area; cost.Cost.delay |]
+  in
+  (key, cost, counts)
+
+let score options prog =
+  let key, _, _ = score_full options prog in
+  key
+
+let better (a, _, _) (b, _, _) = a < b
+
+let select options (r : Represent.t) =
+  let reps = Array.map Array.of_list r.Represent.reps in
+  let n = Array.length reps in
+  let evaluated = ref 0 in
+  let eval choice_idx =
+    incr evaluated;
+    let choice =
+      List.init n (fun i -> reps.(i).(choice_idx.(i)))
+    in
+    let prog = prog_of_choice r choice in
+    (score_full options prog, prog, choice)
+  in
+  let total = Represent.num_combinations r in
+  let exhaustive = total <= options.exhaustive_limit in
+  let best = ref (eval (Array.make n 0)) in
+  if n > 0 then begin
+    if exhaustive then begin
+      (* odometer over all combinations *)
+      let idx = Array.make n 0 in
+      let rec advance pos =
+        if pos < n then begin
+          if idx.(pos) + 1 < Array.length reps.(pos) then begin
+            idx.(pos) <- idx.(pos) + 1;
+            true
+          end
+          else begin
+            idx.(pos) <- 0;
+            advance (pos + 1)
+          end
+        end
+        else false
+      in
+      let keep_going = ref (advance 0) in
+      while !keep_going do
+        let trial = eval idx in
+        let (ts, _, _) = trial and (bs, _, _) = !best in
+        if better ts bs then best := trial;
+        keep_going := advance 0
+      done
+    end
+    else begin
+      (* coordinate descent from the all-first choice: re-optimize one
+         polynomial at a time against the sharing created by the others *)
+      let idx = Array.make n 0 in
+      let improved = ref true in
+      let sweep = ref 0 in
+      while !improved && !sweep < options.sweeps do
+        improved := false;
+        incr sweep;
+        for i = 0 to n - 1 do
+          let best_k = ref idx.(i) in
+          for k = 0 to Array.length reps.(i) - 1 do
+            if k <> !best_k then begin
+              idx.(i) <- k;
+              let trial = eval idx in
+              let (ts, _, _) = trial and (bs, _, _) = !best in
+              if better ts bs then begin
+                best := trial;
+                best_k := k;
+                improved := true
+              end
+            end
+          done;
+          (* [best] was last updated at idx.(i) = !best_k (or never for
+             this position), so this restores the configuration it
+             scored *)
+          idx.(i) <- !best_k
+        done
+      done
+    end
+  end;
+  let (_, cost, counts), prog, choice = !best in
+  {
+    prog;
+    labels = List.map (fun (rep : Represent.rep) -> rep.Represent.label) choice;
+    cost;
+    counts;
+    combinations_evaluated = !evaluated;
+    exhaustive;
+  }

@@ -1,0 +1,49 @@
+(** Combination selection — lines 18-24 of Algorithm 7.
+
+    A combination assigns one representation to each polynomial; its cost
+    is measured {e after} CSE, i.e. on the hash-consed DAG of the whole
+    program (shared building blocks are counted once).  Small systems are
+    searched exhaustively; large ones by coordinate descent, re-optimizing
+    one polynomial at a time against the sharing created by the others. *)
+
+module Prog := Polysynth_expr.Prog
+module Dag := Polysynth_expr.Dag
+module Cost := Polysynth_hw.Cost
+
+type objective =
+  | Min_area  (** the paper's objective *)
+  | Min_delay
+  | Min_power  (** switching-activity estimate — the paper's future work *)
+  | Min_ops  (** raw post-CSE operator count *)
+
+type options = {
+  width : int;  (** datapath bit-width, for the area/delay model *)
+  model : Cost.model;
+  objective : objective;
+  exhaustive_limit : int;
+      (** combination count up to which the search is exhaustive *)
+  sweeps : int;  (** coordinate-descent passes for large systems *)
+}
+
+val default_options : width:int -> options
+(** Objective defaults to [Min_area]. *)
+
+val score : options -> Prog.t -> float array
+(** The lexicographic objective key of a program under the options
+    (exposed so that whole-system decompositions outside the
+    representation search can compete on equal terms). *)
+
+type selection = {
+  prog : Prog.t;  (** chosen representations, with used block bindings *)
+  labels : string list;  (** chosen representation label per polynomial *)
+  cost : Cost.report;
+  counts : Dag.counts;
+  combinations_evaluated : int;
+  exhaustive : bool;
+}
+
+val prog_of_choice : Represent.t -> Represent.rep list -> Prog.t
+(** Assemble a program from one representation per polynomial, including
+    exactly the block bindings the expressions use. *)
+
+val select : options -> Represent.t -> selection

@@ -1,0 +1,1 @@
+lib/cse/extract.ml: Kcm Kernel List Map Polysynth_expr Polysynth_poly Polysynth_zint Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/cse/extract.mli: Polysynth_expr Polysynth_poly

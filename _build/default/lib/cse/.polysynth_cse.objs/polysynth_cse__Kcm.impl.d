@@ -1,0 +1,1 @@
+lib/cse/kcm.ml: Array Hashtbl Int Kernel List Map Polysynth_expr Polysynth_poly Polysynth_zint Set Stdlib

@@ -1,0 +1,1 @@
+lib/cse/kcm.mli: Polysynth_poly Polysynth_zint

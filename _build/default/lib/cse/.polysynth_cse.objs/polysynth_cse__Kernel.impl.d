@@ -1,0 +1,1 @@
+lib/cse/kernel.ml: Array List Polysynth_poly Set

@@ -1,0 +1,1 @@
+lib/cse/kernel.mli: Polysynth_poly

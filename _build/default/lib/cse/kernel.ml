@@ -1,0 +1,91 @@
+module Poly = Polysynth_poly.Poly
+module Monomial = Polysynth_poly.Monomial
+
+let largest_cube p =
+  match Poly.terms p with
+  | [] -> Monomial.one
+  | (_, m) :: rest ->
+    List.fold_left (fun acc (_, m') -> Monomial.gcd acc m') m rest
+
+let is_cube_free p = Monomial.is_one (largest_cube p)
+
+let cube_free_part p =
+  match Monomial.div Monomial.one (largest_cube p) with
+  | Some _ -> p (* largest cube is 1 *)
+  | None ->
+    let c = largest_cube p in
+    Poly.of_terms
+      (List.map
+         (fun (k, m) ->
+           match Monomial.div m c with
+           | Some m' -> (k, m')
+           | None -> assert false)
+         (Poly.terms p))
+
+let divide_cube p c =
+  Poly.of_terms
+    (List.filter_map
+       (fun (k, m) ->
+         match Monomial.div m c with
+         | Some m' -> Some (k, m')
+         | None -> None)
+       (Poly.terms p))
+
+module PolySet = Set.Make (struct
+  type t = Monomial.t * Poly.t
+
+  let compare (c1, k1) (c2, k2) =
+    let c = Monomial.compare c1 c2 in
+    if c <> 0 then c else Poly.compare k1 k2
+end)
+
+(* Recursive kernelling.  [vars] is the indexed literal order; at level
+   [j] only literals of index >= j are divided out, and a candidate whose
+   extracted cube re-introduces an earlier literal is skipped because the
+   same kernel was already produced along that literal's branch. *)
+let kernels p =
+  if Poly.is_zero p then []
+  else begin
+    let vars = Array.of_list (Poly.vars p) in
+    let index_of v =
+      let rec find i = if vars.(i) = v then i else find (i + 1) in
+      find 0
+    in
+    let acc = ref PolySet.empty in
+    let consider cokernel kernel =
+      if Poly.num_terms kernel >= 2 then
+        acc := PolySet.add (cokernel, kernel) !acc
+    in
+    let rec explore j cokernel pol =
+      consider cokernel pol;
+      Array.iteri
+        (fun k v ->
+          if k >= j then begin
+            let in_terms =
+              List.length
+                (List.filter
+                   (fun (_, m) -> Monomial.mentions v m)
+                   (Poly.terms pol))
+            in
+            if in_terms >= 2 then begin
+              let f = divide_cube pol (Monomial.var v) in
+              if Poly.num_terms f >= 2 then begin
+                let c = largest_cube f in
+                let f1 = divide_cube f c in
+                let earlier_literal =
+                  List.exists (fun v' -> index_of v' < k) (Monomial.vars c)
+                in
+                if not earlier_literal then
+                  explore k
+                    (Monomial.mul cokernel (Monomial.mul (Monomial.var v) c))
+                    f1
+              end
+            end
+          end)
+        vars
+    in
+    let c0 = largest_cube p in
+    let p0 = divide_cube p c0 in
+    explore 0 c0 p0;
+    PolySet.elements !acc
+  end

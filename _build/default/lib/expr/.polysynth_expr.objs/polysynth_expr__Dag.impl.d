@@ -1,0 +1,1 @@
+lib/expr/dag.ml: Array Either Expr Format Hashtbl List Polysynth_zint Stdlib String

@@ -1,0 +1,1 @@
+lib/expr/dag.mli: Expr Format Polysynth_zint

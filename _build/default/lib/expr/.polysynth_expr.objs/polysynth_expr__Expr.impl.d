@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Format Hashtbl List Polysynth_poly Polysynth_zint Stdlib String

@@ -1,0 +1,1 @@
+lib/expr/expr.mli: Format Polysynth_poly Polysynth_zint

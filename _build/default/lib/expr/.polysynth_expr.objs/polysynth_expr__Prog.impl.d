@@ -1,0 +1,1 @@
+lib/expr/prog.ml: Dag Expr Format Hashtbl List Polysynth_poly Polysynth_zint Printf

@@ -1,0 +1,1 @@
+lib/expr/prog.mli: Dag Expr Format Polysynth_poly Polysynth_zint

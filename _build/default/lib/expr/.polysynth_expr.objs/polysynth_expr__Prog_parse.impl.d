@@ -1,0 +1,1 @@
+lib/expr/prog_parse.ml: Expr List Polysynth_poly Prog String

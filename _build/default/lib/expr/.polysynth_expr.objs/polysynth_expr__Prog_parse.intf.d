@@ -1,0 +1,1 @@
+lib/expr/prog_parse.mli: Prog

@@ -1,0 +1,20 @@
+(** Text syntax for straight-line programs (decompositions).
+
+    One definition per line (or [';']-separated):
+    {v
+      d1 = x + 3*y
+      P1 = d1^2          # comments run to end of line
+      P2 = 4*y^2*d1
+    v}
+    Right-hand sides use the polynomial grammar of
+    {!Polysynth_poly.Parse} and may reference earlier definitions by
+    name.  Names defined but never referenced by a later definition are
+    the program's outputs; referenced names become bindings.  This lets a
+    user hand a candidate decomposition to the cost model and the
+    verifier. *)
+
+exception Parse_error of string
+
+val program : string -> Prog.t
+(** @raise Parse_error on malformed input, duplicate definitions,
+    forward references, or programs with no outputs. *)

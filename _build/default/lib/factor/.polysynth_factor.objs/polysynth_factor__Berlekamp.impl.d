@@ -1,0 +1,1 @@
+lib/factor/berlekamp.ml: Array Fp_poly Fun List Stdlib

@@ -1,0 +1,1 @@
+lib/factor/berlekamp.mli: Fp_poly

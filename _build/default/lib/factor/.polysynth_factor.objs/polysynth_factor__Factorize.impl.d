@@ -1,0 +1,1 @@
+lib/factor/factorize.ml: Array Berlekamp Fp_poly Fun Hensel List Polysynth_poly Polysynth_zint Squarefree Stdlib

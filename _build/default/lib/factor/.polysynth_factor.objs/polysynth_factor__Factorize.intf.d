@@ -1,0 +1,1 @@
+lib/factor/factorize.mli: Polysynth_poly Polysynth_zint

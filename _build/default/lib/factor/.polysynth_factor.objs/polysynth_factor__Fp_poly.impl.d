@@ -1,0 +1,1 @@
+lib/factor/fp_poly.ml: Array List Polysynth_poly Polysynth_zint Stdlib

@@ -1,0 +1,1 @@
+lib/factor/fp_poly.mli: Polysynth_poly

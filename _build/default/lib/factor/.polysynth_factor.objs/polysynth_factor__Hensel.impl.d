@@ -1,0 +1,1 @@
+lib/factor/hensel.ml: Array Fp_poly List Polysynth_zint Stdlib

@@ -1,0 +1,1 @@
+lib/factor/hensel.mli: Fp_poly Polysynth_zint

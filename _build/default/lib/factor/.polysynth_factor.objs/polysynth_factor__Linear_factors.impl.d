@@ -1,0 +1,1 @@
+lib/factor/linear_factors.ml: List Polysynth_poly Polysynth_zint Stdlib

@@ -1,0 +1,1 @@
+lib/factor/linear_factors.mli: Polysynth_poly Polysynth_zint

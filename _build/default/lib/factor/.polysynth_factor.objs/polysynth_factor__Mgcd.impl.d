@@ -1,0 +1,1 @@
+lib/factor/mgcd.ml: List Polysynth_poly Polysynth_zint

@@ -1,0 +1,1 @@
+lib/factor/mgcd.mli: Polysynth_poly

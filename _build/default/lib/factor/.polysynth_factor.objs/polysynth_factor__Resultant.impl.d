@@ -1,0 +1,1 @@
+lib/factor/resultant.ml: Array List Polysynth_poly Polysynth_zint

@@ -1,0 +1,1 @@
+lib/factor/resultant.mli: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/factor/squarefree.ml: Hashtbl List Mgcd Option Polysynth_poly Polysynth_zint Stdlib

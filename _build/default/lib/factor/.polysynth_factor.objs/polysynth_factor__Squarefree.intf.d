@@ -1,0 +1,1 @@
+lib/factor/squarefree.mli: Polysynth_poly Polysynth_zint

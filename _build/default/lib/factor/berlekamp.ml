@@ -1,0 +1,111 @@
+module F = Fp_poly
+
+(* rows of the Frobenius matrix: x^(i*p) mod f, as length-n arrays *)
+let frobenius_rows ~p f =
+  let n = F.degree f in
+  let xp = F.pow_mod ~p [| 0; 1 |] p ~modulus:f in
+  let pad a = Array.init n (fun i -> if i < Array.length a then a.(i) else 0) in
+  let rec rows acc current i =
+    if i >= n then List.rev acc
+    else
+      let next = snd (F.divmod ~p (F.mul ~p current xp) f) in
+      rows (pad current :: acc) next (i + 1)
+  in
+  rows [] F.one 0
+
+(* nullspace basis of (Q^T - I) over F_p, as polynomials *)
+let berlekamp_basis ~p f =
+  let n = F.degree f in
+  let q_rows = Array.of_list (frobenius_rows ~p f) in
+  (* m = Q^T - I: column j of m is row j of Q minus e_j *)
+  let m =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let v = q_rows.(j).(i) - if i = j then 1 else 0 in
+            let v = v mod p in
+            if v < 0 then v + p else v))
+  in
+  (* gaussian elimination tracking pivot columns *)
+  let pivot_of_row = Array.make n (-1) in
+  let row = ref 0 in
+  for col = 0 to n - 1 do
+    if !row < n then begin
+      let pivot =
+        let rec find i =
+          if i >= n then None else if m.(i).(col) <> 0 then Some i else find (i + 1)
+        in
+        find !row
+      in
+      match pivot with
+      | None -> ()
+      | Some pr ->
+        let tmp = m.(pr) in
+        m.(pr) <- m.(!row);
+        m.(!row) <- tmp;
+        let inv = F.inv_mod_p ~p m.(!row).(col) in
+        for j = 0 to n - 1 do
+          m.(!row).(j) <- m.(!row).(j) * inv mod p
+        done;
+        for i = 0 to n - 1 do
+          if i <> !row && m.(i).(col) <> 0 then begin
+            let factor = m.(i).(col) in
+            for j = 0 to n - 1 do
+              let v = (m.(i).(j) - (factor * m.(!row).(j) mod p)) mod p in
+              m.(i).(j) <- (if v < 0 then v + p else v)
+            done
+          end
+        done;
+        pivot_of_row.(!row) <- col;
+        incr row
+    end
+  done;
+  let pivot_cols = Array.to_list (Array.sub pivot_of_row 0 !row) in
+  let free_cols =
+    List.filter (fun c -> not (List.mem c pivot_cols)) (List.init n Fun.id)
+  in
+  (* basis vector per free column *)
+  List.map
+    (fun fc ->
+      let v = Array.make n 0 in
+      v.(fc) <- 1;
+      for r = 0 to !row - 1 do
+        let pc = pivot_of_row.(r) in
+        if pc >= 0 && m.(r).(fc) <> 0 then v.(pc) <- (p - m.(r).(fc)) mod p
+      done;
+      (Array.of_list (Array.to_list v) : F.t))
+    free_cols
+
+let nullspace_dimension ~p f = List.length (berlekamp_basis ~p (F.monic ~p f))
+
+let factor ~p f =
+  if F.degree f < 1 then invalid_arg "Berlekamp.factor: constant input";
+  let f = F.monic ~p f in
+  let basis = berlekamp_basis ~p f in
+  let target = List.length basis in
+  let factors = ref [ f ] in
+  let split_done () = List.length !factors >= target in
+  List.iter
+    (fun v ->
+      let v =
+        (* drop trailing zeros to make it a polynomial *)
+        F.add ~p [||] v
+      in
+      if not (split_done ()) && F.degree v >= 1 then
+        for c = 0 to p - 1 do
+          if not (split_done ()) then begin
+            let v_minus_c = F.sub ~p v (F.of_list ~p [ c ]) in
+            factors :=
+              List.concat_map
+                (fun h ->
+                  if F.degree h <= 1 then [ h ]
+                  else begin
+                    let g = F.gcd ~p v_minus_c h in
+                    if F.degree g >= 1 && F.degree g < F.degree h then
+                      [ g; fst (F.divmod ~p h g) ]
+                    else [ h ]
+                  end)
+                !factors
+          end
+        done)
+    basis;
+  List.sort Stdlib.compare (List.map (F.monic ~p) !factors)

@@ -1,0 +1,169 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+type factorization = {
+  unit_part : Z.t;
+  factors : (Poly.t * int) list;
+}
+
+let check_univariate v u =
+  if Poly.is_zero u then invalid_arg "Factorize: zero polynomial";
+  match List.filter (fun v' -> v' <> v) (Poly.vars u) with
+  | [] -> ()
+  | _ :: _ -> invalid_arg "Factorize: polynomial is not univariate"
+
+let height u =
+  List.fold_left (fun acc (c, _) -> Z.max acc (Z.abs c)) Z.zero (Poly.terms u)
+
+let coefficient_bound v u =
+  check_univariate v u;
+  let n = Poly.degree_in v u in
+  let lc_abs = Z.abs (fst (Poly.leading u)) in
+  Z.mul
+    (Z.mul (Z.pow2 (n + 1)) (Z.of_int (n + 1)))
+    (Z.mul (height u) lc_abs)
+
+let small_primes =
+  [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71;
+    73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227;
+    229; 233; 239; 241; 251; 257; 263; 269; 271; 277; 281; 283; 293 ]
+
+let choose_prime v f =
+  let lc = fst (Poly.leading f) in
+  let good p =
+    let zp = Z.of_int p in
+    (not (Z.divides zp lc))
+    &&
+    let fp = Fp_poly.of_zpoly ~p v f in
+    let fp' = Fp_poly.derivative ~p fp in
+    (not (Fp_poly.is_zero fp'))
+    && Fp_poly.degree (Fp_poly.gcd ~p fp fp') = 0
+  in
+  match List.find_opt good small_primes with
+  | Some p -> p
+  | None -> failwith "Factorize: no suitable small prime (pathological input)"
+
+let symmetric_residue ~m c =
+  let c = snd (Z.ediv_rem c m) in
+  if Z.compare (Z.mul Z.two c) m > 0 then Z.sub c m else c
+
+let poly_of_zpoly v (a : Hensel.zpoly) ~m =
+  Poly.of_coeffs_in v
+    (List.filteri (fun _ _ -> true)
+       (List.mapi
+          (fun k c -> (k, Poly.const (symmetric_residue ~m c)))
+          (Array.to_list a)))
+
+(* all index subsets of size d from 0..n-1, lexicographic *)
+let subsets n d =
+  let rec go start d =
+    if d = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun i -> List.map (fun rest -> i :: rest) (go (i + 1) (d - 1)))
+        (List.init (Stdlib.max 0 (n - start)) (fun k -> start + k))
+  in
+  go 0 d
+
+let factor_squarefree v f =
+  (* f primitive, square-free, positive leading coefficient, degree >= 1 *)
+  let n = Poly.degree_in v f in
+  if n = 1 then [ f ]
+  else begin
+    let p = choose_prime v f in
+    let fp = Fp_poly.of_zpoly ~p v f in
+    let modular = Berlekamp.factor ~p fp in
+    if List.length modular <= 1 then [ f ]
+    else begin
+      let target =
+        Z.add (Z.mul Z.two (coefficient_bound v f)) Z.one
+      in
+      let f_dense =
+        Array.init (n + 1) (fun k ->
+            let coeffs = Poly.coeffs_in v f in
+            match List.assoc_opt k coeffs with
+            | Some c ->
+              (match Poly.to_const_opt c with Some c -> c | None -> Z.zero)
+            | None -> Z.zero)
+      in
+      let lifted, m = Hensel.lift_factors ~p ~target f_dense modular in
+      let lifted = Array.of_list lifted in
+      let used = Array.make (Array.length lifted) false in
+      let found = ref [] in
+      let remaining = ref f in
+      let alive () =
+        List.filter (fun i -> not used.(i))
+          (List.init (Array.length lifted) Fun.id)
+      in
+      let try_subset idxs =
+        let lc = fst (Poly.leading !remaining) in
+        let product =
+          List.fold_left
+            (fun acc i -> Hensel.mul ~m acc lifted.(i))
+            [| lc |] idxs
+        in
+        let candidate = Poly.primitive_part (poly_of_zpoly v product ~m) in
+        if Poly.degree_in v candidate >= 1 then
+          match Poly.div_exact !remaining candidate with
+          | Some q ->
+            found := candidate :: !found;
+            remaining := q;
+            List.iter (fun i -> used.(i) <- true) idxs;
+            true
+          | None -> false
+        else false
+      in
+      let d = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let live = alive () in
+        if !d > List.length live / 2 then continue := false
+        else begin
+          let indices = List.map (fun i -> List.nth live i) in
+          let subs = List.map indices (subsets (List.length live) !d) in
+          let hit = List.exists try_subset subs in
+          if not hit then incr d
+        end
+      done;
+      let leftovers =
+        let r = Poly.primitive_part !remaining in
+        if Poly.degree_in v r >= 1 then [ r ] else []
+      in
+      List.sort Poly.compare (leftovers @ !found)
+    end
+  end
+
+
+let factor v u =
+  check_univariate v u;
+  match Poly.to_const_opt u with
+  | Some c -> { unit_part = c; factors = [] }
+  | None ->
+    let sqf = Squarefree.squarefree u in
+    let factors =
+      List.concat_map
+        (fun (s, k) ->
+          List.map (fun irr -> (irr, k)) (factor_squarefree v s))
+        sqf.Squarefree.factors
+    in
+    {
+      unit_part = sqf.Squarefree.unit_part;
+      factors =
+        List.sort
+          (fun (a, ka) (b, kb) ->
+            let c = Poly.compare a b in
+            if c <> 0 then c else Stdlib.compare ka kb)
+          factors;
+    }
+
+let expand { unit_part; factors } =
+  List.fold_left
+    (fun acc (f, k) -> Poly.mul acc (Poly.pow f k))
+    (Poly.const unit_part) factors
+
+let is_irreducible v u =
+  check_univariate v u;
+  if Poly.is_const u then invalid_arg "Factorize.is_irreducible: constant";
+  let f = factor v u in
+  match f.factors with [ (_, 1) ] -> true | _ -> false

@@ -1,0 +1,143 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+type t = int array
+
+let trim a =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi = n - 1 then a else Array.sub a 0 (hi + 1)
+
+let normc ~p c =
+  let r = c mod p in
+  if r < 0 then r + p else r
+
+let of_list ~p l = trim (Array.of_list (List.map (normc ~p) l))
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero a = Array.length a = 0
+
+let degree a = Array.length a - 1
+
+let lc a =
+  if is_zero a then invalid_arg "Fp_poly.lc: zero polynomial";
+  a.(Array.length a - 1)
+
+let equal (a : t) b = a = b
+
+let add ~p a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  trim
+    (Array.init n (fun i ->
+         normc ~p
+           ((if i < Array.length a then a.(i) else 0)
+           + if i < Array.length b then b.(i) else 0)))
+
+let sub ~p a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  trim
+    (Array.init n (fun i ->
+         normc ~p
+           ((if i < Array.length a then a.(i) else 0)
+           - if i < Array.length b then b.(i) else 0)))
+
+let scale ~p k a =
+  let k = normc ~p k in
+  if k = 0 then zero else trim (Array.map (fun c -> c * k mod p) a)
+
+let mul ~p a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let r = Array.make (Array.length a + Array.length b - 1) 0 in
+    Array.iteri
+      (fun i ai ->
+        if ai <> 0 then
+          Array.iteri
+            (fun j bj -> r.(i + j) <- (r.(i + j) + (ai * bj)) mod p)
+            b)
+      a;
+    trim r
+  end
+
+let inv_mod_p ~p c =
+  let c = normc ~p c in
+  if c = 0 then raise Division_by_zero;
+  (* extended euclid on ints *)
+  let rec go r0 r1 s0 s1 =
+    if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1))
+  in
+  normc ~p (go p c 0 1)
+
+let divmod ~p a b =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b in
+  let inv_lc = inv_mod_p ~p (lc b) in
+  let r = Array.copy a in
+  let da = degree a in
+  if da < db then (zero, trim r)
+  else begin
+    let q = Array.make (da - db + 1) 0 in
+    for k = da - db downto 0 do
+      let coeff = r.(k + db) * inv_lc mod p in
+      if coeff <> 0 then begin
+        q.(k) <- coeff;
+        for j = 0 to db do
+          r.(k + j) <- normc ~p (r.(k + j) - (coeff * b.(j) mod p))
+        done
+      end
+    done;
+    (trim q, trim r)
+  end
+
+let monic ~p a = if is_zero a then a else scale ~p (inv_mod_p ~p (lc a)) a
+
+let gcd ~p a b =
+  let rec go a b = if is_zero b then a else go b (snd (divmod ~p a b)) in
+  monic ~p (go a b)
+
+let extended_gcd ~p a b =
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if is_zero r1 then (r0, s0, t0)
+    else begin
+      let q, r2 = divmod ~p r0 r1 in
+      go r1 r2 s1 (sub ~p s0 (mul ~p q s1)) t1 (sub ~p t0 (mul ~p q t1))
+    end
+  in
+  let g, s, t = go a b one zero zero one in
+  if is_zero g then (g, s, t)
+  else begin
+    let inv = inv_mod_p ~p (lc g) in
+    (scale ~p inv g, scale ~p inv s, scale ~p inv t)
+  end
+
+let derivative ~p a =
+  if Array.length a <= 1 then zero
+  else trim (Array.init (Array.length a - 1) (fun i -> (i + 1) * a.(i + 1) mod p))
+
+let pow_mod ~p base e ~modulus =
+  let reduce x = snd (divmod ~p x modulus) in
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (reduce (mul ~p acc b)) (reduce (mul ~p b b)) (e lsr 1)
+    else go acc (reduce (mul ~p b b)) (e lsr 1)
+  in
+  go one (reduce base) e
+
+let eval ~p a x =
+  let x = normc ~p x in
+  Array.fold_right (fun c acc -> ((acc * x) + c) mod p) a 0
+
+let of_zpoly ~p v q =
+  let coeffs = Poly.coeffs_in v q in
+  let deg = List.fold_left (fun acc (k, _) -> Stdlib.max acc k) 0 coeffs in
+  let arr = Array.make (deg + 1) 0 in
+  List.iter
+    (fun (k, c) ->
+      match Poly.to_const_opt c with
+      | Some c -> arr.(k) <- Z.to_int_exn (snd (Z.ediv_rem c (Z.of_int p)))
+      | None -> invalid_arg "Fp_poly.of_zpoly: not univariate")
+    coeffs;
+  trim arr

@@ -1,0 +1,174 @@
+module Z = Polysynth_zint.Zint
+
+type zpoly = Z.t array
+
+(* ---- dense polynomial arithmetic over Z/m ---------------------------------- *)
+
+let norm ~m a =
+  let reduce c = snd (Z.ediv_rem c m) in
+  let a = Array.map reduce a in
+  let n = Array.length a in
+  let rec top i = if i >= 0 && Z.is_zero a.(i) then top (i - 1) else i in
+  Array.sub a 0 (top (n - 1) + 1)
+
+let degree a =
+  let rec top i = if i >= 0 && Z.is_zero a.(i) then top (i - 1) else i in
+  top (Array.length a - 1)
+
+let is_zero a = degree a < 0
+
+let coeff a i = if i < Array.length a then a.(i) else Z.zero
+
+let lc a =
+  let d = degree a in
+  if d < 0 then invalid_arg "Hensel.lc: zero polynomial" else a.(d)
+
+let add ~m a b =
+  norm ~m
+    (Array.init
+       (Stdlib.max (Array.length a) (Array.length b))
+       (fun i -> Z.add (coeff a i) (coeff b i)))
+
+let sub ~m a b =
+  norm ~m
+    (Array.init
+       (Stdlib.max (Array.length a) (Array.length b))
+       (fun i -> Z.sub (coeff a i) (coeff b i)))
+
+let mul ~m a b =
+  if is_zero a || is_zero b then [||]
+  else begin
+    let r = Array.make (degree a + degree b + 1) Z.zero in
+    for i = 0 to degree a do
+      if not (Z.is_zero a.(i)) then
+        for j = 0 to degree b do
+          r.(i + j) <- Z.add r.(i + j) (Z.mul a.(i) b.(j))
+        done
+    done;
+    norm ~m r
+  end
+
+let scale ~m k a = norm ~m (Array.map (Z.mul k) a)
+
+(* inverse of u mod m (m a prime power p^k, p coprime to u): lift the
+   F_p inverse by Newton iteration x -> x(2 - ux) *)
+let inv_mod ~p ~m u =
+  let u0 = Z.to_int_exn (snd (Z.ediv_rem u (Z.of_int p))) in
+  let x = ref (Z.of_int (Fp_poly.inv_mod_p ~p u0)) in
+  let continue = ref true in
+  while !continue do
+    let prod = snd (Z.ediv_rem (Z.mul u !x) m) in
+    if Z.is_one prod then continue := false
+    else begin
+      let two_minus = Z.sub Z.two prod in
+      x := snd (Z.ediv_rem (Z.mul !x two_minus) m)
+    end
+  done;
+  !x
+
+(* division by a polynomial whose leading coefficient is invertible mod m *)
+let divmod ~p ~m a b =
+  let db = degree b in
+  if db < 0 then raise Division_by_zero;
+  let inv_lc = inv_mod ~p ~m (lc b) in
+  let r = Array.map (fun c -> snd (Z.ediv_rem c m)) a in
+  let da = degree r in
+  if da < db then ([||], norm ~m r)
+  else begin
+    let q = Array.make (da - db + 1) Z.zero in
+    for k = da - db downto 0 do
+      let c = snd (Z.ediv_rem (Z.mul (coeff r (k + db)) inv_lc) m) in
+      if not (Z.is_zero c) then begin
+        q.(k) <- c;
+        for j = 0 to db do
+          r.(k + j) <- snd (Z.ediv_rem (Z.sub r.(k + j) (Z.mul c b.(j))) m)
+        done
+      end
+    done;
+    (norm ~m q, norm ~m r)
+  end
+
+let of_fp (a : Fp_poly.t) : zpoly = Array.map Z.of_int a
+
+(* ---- the quadratic Hensel step ---------------------------------------------- *)
+
+(* given f = g*h (mod m), s*g + t*h = 1 (mod m), g monic, lc(h) invertible:
+   returns (g', h', s', t') with the same relations mod m^2 and
+   g' = g, h' = h (mod m) *)
+let hensel_step ~p ~m f g h s t =
+  let m2 = Z.mul m m in
+  let e = sub ~m:m2 f (mul ~m:m2 g h) in
+  (* solve g*dh + h*dg = e: dg = (t*e) rem g, dh = s*e + h*((t*e) div g) *)
+  let te = mul ~m:m2 t e in
+  let q, dg = divmod ~p ~m:m2 te g in
+  let dh = add ~m:m2 (mul ~m:m2 s e) (mul ~m:m2 h q) in
+  let g' = add ~m:m2 g dg in
+  let h' = add ~m:m2 h dh in
+  (* lift the Bezout identity *)
+  let b =
+    sub ~m:m2 (add ~m:m2 (mul ~m:m2 s g') (mul ~m:m2 t h')) [| Z.one |]
+  in
+  let tb = mul ~m:m2 t b in
+  let q2, r2 = divmod ~p ~m:m2 tb g' in
+  let t' = sub ~m:m2 t r2 in
+  let s' = sub ~m:m2 s (add ~m:m2 (mul ~m:m2 s b) (mul ~m:m2 h' q2)) in
+  (g', h', s', t')
+
+(* lift f = g*h from mod p to mod (first power p^(2^i) >= target) *)
+let lift_pair ~p ~target f g h =
+  let zp = Z.of_int p in
+  (* initial Bezout over F_p *)
+  let gp = Array.map (fun c -> Z.to_int_exn (snd (Z.ediv_rem c zp))) g in
+  let hp = Array.map (fun c -> Z.to_int_exn (snd (Z.ediv_rem c zp))) h in
+  let _, s0, t0 =
+    Fp_poly.extended_gcd ~p (Fp_poly.add ~p [||] gp) (Fp_poly.add ~p [||] hp)
+  in
+  let rec go m g h s t =
+    if Z.compare m target >= 0 then (m, g, h)
+    else begin
+      let g', h', s', t' = hensel_step ~p ~m f g h s t in
+      go (Z.mul m m) g' h' s' t'
+    end
+  in
+  go zp (norm ~m:zp g) (norm ~m:zp h) (of_fp s0) (of_fp t0)
+
+(* multi-factor lifting by splitting the factor list *)
+let lift_factors ~p ~target f facs =
+  let zp = Z.of_int p in
+  (* the final modulus must be consistent across the tree: precompute it *)
+  let final_m =
+    let rec go m = if Z.compare m target >= 0 then m else go (Z.mul m m) in
+    go zp
+  in
+  let rec lift f facs =
+    (* invariant: f = lc(f) * prod facs (mod p) *)
+    match facs with
+    | [] -> invalid_arg "Hensel.lift_factors: no factors"
+    | [ _ ] ->
+      (* the monic version of f mod final_m is the lifted factor *)
+      let inv = inv_mod ~p ~m:final_m (lc (norm ~m:final_m f)) in
+      [ scale ~m:final_m inv f ]
+    | _ ->
+      let k = List.length facs / 2 in
+      let left = List.filteri (fun i _ -> i < k) facs in
+      let right = List.filteri (fun i _ -> i >= k) facs in
+      (* g0 = prod left (monic), h0 = f/g0 mod p *)
+      let g0 =
+        List.fold_left
+          (fun acc fac -> mul ~m:zp acc (of_fp fac))
+          [| Z.one |] left
+      in
+      let h0 =
+        let fp = norm ~m:zp f in
+        fst (divmod ~p ~m:zp fp g0)
+      in
+      let m, g, h = lift_pair ~p ~target f g0 h0 in
+      let g = norm ~m g and h = norm ~m h in
+      ignore m;
+      lift g left @ lift h right
+  in
+  (List.map (norm ~m:final_m) (lift (norm ~m:final_m f) facs), final_m)
+
+let pair_lift_check ~p ~m f g h =
+  ignore p;
+  is_zero (sub ~m f (mul ~m g h))

@@ -1,0 +1,100 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+let divisors z =
+  (* positive divisors of |z|, by trial division — coefficients are small *)
+  let n = Z.abs z in
+  if Z.is_zero n then [ Z.one ]
+  else begin
+    let out = ref [] in
+    let i = ref Z.one in
+    while Z.compare (Z.mul !i !i) n <= 0 do
+      if Z.divides !i n then begin
+        out := !i :: !out;
+        let q = Z.divexact n !i in
+        if not (Z.equal q !i) then out := q :: !out
+      end;
+      i := Z.add !i Z.one
+    done;
+    !out
+  end
+
+let check_univariate v u =
+  if Poly.is_zero u then invalid_arg "Linear_factors: zero polynomial";
+  match List.filter (fun v' -> v' <> v) (Poly.vars u) with
+  | [] -> ()
+  | _ :: _ -> invalid_arg "Linear_factors: polynomial is not univariate"
+
+let eval_at v num den u =
+  (* u(num/den) * den^deg: integer by clearing denominators *)
+  let deg = Poly.degree_in v u in
+  List.fold_left
+    (fun acc (k, c) ->
+      let c = match Poly.to_const_opt c with Some c -> c | None -> assert false in
+      Z.add acc (Z.mul c (Z.mul (Z.pow num k) (Z.pow den (deg - k)))))
+    Z.zero (Poly.coeffs_in v u)
+
+let roots v u =
+  check_univariate v u;
+  let coeffs = Poly.coeffs_in v u in
+  (* strip the root at zero first: trailing coefficient of the v-free part *)
+  let min_deg = List.fold_left (fun acc (k, _) -> Stdlib.min acc k) max_int
+      (List.map (fun (k, c) -> (k, c)) coeffs) in
+  let zero_root = min_deg > 0 in
+  let shifted =
+    List.filter_map
+      (fun (k, c) -> if k >= min_deg then Some (k - min_deg, c) else None)
+      coeffs
+  in
+  let trailing =
+    match List.assoc_opt 0 shifted with
+    | Some c -> (match Poly.to_const_opt c with Some c -> c | None -> assert false)
+    | None -> Z.one
+  in
+  let leading =
+    let dmax = List.fold_left (fun acc (k, _) -> Stdlib.max acc k) 0 shifted in
+    match List.assoc_opt dmax shifted with
+    | Some c -> (match Poly.to_const_opt c with Some c -> c | None -> assert false)
+    | None -> Z.one
+  in
+  let candidates =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun a ->
+            if Z.is_one (Z.gcd a b) then [ (b, a); (Z.neg b, a) ] else [])
+          (divisors leading))
+      (divisors trailing)
+  in
+  let found =
+    List.filter (fun (b, a) -> Z.is_zero (eval_at v b a u)) candidates
+  in
+  let dedup =
+    List.sort_uniq
+      (fun (b1, a1) (b2, a2) ->
+        let c = Z.compare a1 a2 in
+        if c <> 0 then c else Z.compare b1 b2)
+      found
+  in
+  if zero_root then (Z.zero, Z.one) :: dedup else dedup
+
+let linear_factors v u =
+  check_univariate v u;
+  let factor_of (b, a) =
+    (* a*v - b, primitive with positive leading coefficient *)
+    Poly.sub (Poly.mul_scalar a (Poly.var v)) (Poly.const b)
+  in
+  let rec strip u (b, a) count =
+    match Poly.div_exact u (factor_of (b, a)) with
+    | Some q -> strip q (b, a) (count + 1)
+    | None -> (u, count)
+  in
+  let rs = roots v u in
+  let rest, factors =
+    List.fold_left
+      (fun (u, acc) root ->
+        let u', k = strip u root 0 in
+        if k > 0 then (u', (factor_of root, k) :: acc) else (u, acc))
+      (u, []) rs
+  in
+  (List.rev factors, rest)

@@ -1,0 +1,93 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+let coeff_in v p k =
+  match List.assoc_opt k (Poly.coeffs_in v p) with
+  | Some c -> c
+  | None -> Poly.zero
+
+let sylvester v f g =
+  if Poly.is_zero f || Poly.is_zero g then
+    invalid_arg "Resultant.sylvester: zero polynomial";
+  let df = Poly.degree_in v f and dg = Poly.degree_in v g in
+  if df = 0 && dg = 0 then
+    invalid_arg "Resultant.sylvester: both degree zero";
+  let n = df + dg in
+  Array.init n (fun row ->
+      Array.init n (fun col ->
+          if row < dg then begin
+            (* row of f coefficients, shifted right by [row] *)
+            let k = df - (col - row) in
+            if col >= row && k >= 0 && k <= df then coeff_in v f k
+            else Poly.zero
+          end
+          else begin
+            let row' = row - dg in
+            let k = dg - (col - row') in
+            if col >= row' && k >= 0 && k <= dg then coeff_in v g k
+            else Poly.zero
+          end))
+
+let determinant matrix =
+  let n = Array.length matrix in
+  if n = 0 then invalid_arg "Resultant.determinant: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Resultant.determinant: not square")
+    matrix;
+  let m = Array.map Array.copy matrix in
+  let sign = ref 1 in
+  let prev_pivot = ref Poly.one in
+  let exception Singular in
+  try
+    for k = 0 to n - 2 do
+      (* find a non-zero pivot in column k *)
+      if Poly.is_zero m.(k).(k) then begin
+        let rec find i =
+          if i >= n then raise Singular
+          else if not (Poly.is_zero m.(i).(k)) then i
+          else find (i + 1)
+        in
+        let i = find (k + 1) in
+        let tmp = m.(i) in
+        m.(i) <- m.(k);
+        m.(k) <- tmp;
+        sign := - !sign
+      end;
+      for i = k + 1 to n - 1 do
+        for j = k + 1 to n - 1 do
+          let num =
+            Poly.sub
+              (Poly.mul m.(i).(j) m.(k).(k))
+              (Poly.mul m.(i).(k) m.(k).(j))
+          in
+          match Poly.div_exact num !prev_pivot with
+          | Some q -> m.(i).(j) <- q
+          | None -> assert false (* Bareiss division is always exact *)
+        done;
+        m.(i).(k) <- Poly.zero
+      done;
+      prev_pivot := m.(k).(k)
+    done;
+    let det = m.(n - 1).(n - 1) in
+    if !sign < 0 then Poly.neg det else det
+  with Singular -> Poly.zero
+
+let resultant v f g = determinant (sylvester v f g)
+
+let discriminant v f =
+  let n = Poly.degree_in v f in
+  if n < 1 then invalid_arg "Resultant.discriminant: degree < 1";
+  let f' = Poly.derivative v f in
+  if Poly.is_zero f' then Poly.zero
+  else begin
+    let r = resultant v f f' in
+    let lc = coeff_in v f n in
+    let q =
+      match Poly.div_exact r lc with
+      | Some q -> q
+      | None -> assert false (* lc divides res(f, f') *)
+    in
+    if n * (n - 1) / 2 mod 2 = 1 then Poly.neg q else q
+  end

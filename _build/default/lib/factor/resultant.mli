@@ -1,0 +1,25 @@
+(** Resultants and discriminants.
+
+    [res_v(f, g)] is the determinant of the Sylvester matrix of [f] and
+    [g] viewed as univariate in [v]; it vanishes exactly when they share
+    a non-trivial common factor (used e.g. to detect bad primes in the
+    factorization driver and repeated roots).  Entries are polynomials in
+    the remaining variables, so determinants are computed with the
+    fraction-free Bareiss elimination (all divisions exact over Z). *)
+
+module Poly := Polysynth_poly.Poly
+
+val sylvester : string -> Poly.t -> Poly.t -> Poly.t array array
+(** @raise Invalid_argument when either polynomial is zero or both have
+    degree 0 in [v]. *)
+
+val determinant : Poly.t array array -> Poly.t
+(** Bareiss fraction-free determinant of a square matrix of polynomials.
+    @raise Invalid_argument on a non-square or empty matrix. *)
+
+val resultant : string -> Poly.t -> Poly.t -> Poly.t
+
+val discriminant : string -> Poly.t -> Poly.t
+(** [(-1)^(n(n-1)/2) * res_v(f, df/dv) / lc_v(f)] — zero exactly when [f]
+    has a repeated root in [v].
+    @raise Invalid_argument when [f] has degree < 1 in [v]. *)

@@ -1,0 +1,130 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+type factorization = { unit_part : Z.t; factors : (Poly.t * int) list }
+
+let divexact p d =
+  match Poly.div_exact p d with
+  | Some q -> q
+  | None -> assert false
+
+(* Yun's algorithm w.r.t. one variable on a polynomial that is primitive
+   w.r.t. that variable (so every factor mentions [v]).  Returns (s, k)
+   pairs with k >= 1. *)
+let yun v u =
+  let deriv = Poly.derivative v in
+  let g = Mgcd.gcd u (deriv u) in
+  if Poly.is_const g then [ (u, 1) ]
+  else begin
+    let rec loop i w z acc =
+      if Poly.is_const w then acc
+      else begin
+        let s = Mgcd.gcd w z in
+        let w' = divexact w s in
+        let y = divexact z s in
+        let z' = Poly.sub y (deriv w') in
+        let acc = if Poly.is_const s then acc else (s, i) :: acc in
+        loop (i + 1) w' z' acc
+      end
+    in
+    let w = divexact u g in
+    let y = divexact (deriv u) g in
+    let z = Poly.sub y (deriv w) in
+    List.rev (loop 1 w z [])
+  end
+
+(* Merge two factor lists with disjoint factor supports: combine
+   multiplicities per exponent. *)
+let merge fa fb =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s, k) ->
+      let prev = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
+      Hashtbl.replace tbl k (s :: prev))
+    (fa @ fb);
+  Hashtbl.fold
+    (fun k polys acc -> (List.fold_left Poly.mul Poly.one polys, k) :: acc)
+    tbl []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare a b)
+
+(* full square-free decomposition of a primitive polynomial with positive
+   leading coefficient, recursing over the variable set *)
+let rec decompose u =
+  if Poly.is_const u then []
+  else
+    match Poly.vars u with
+    | [] -> []
+    | v :: _ ->
+      let cont = Mgcd.content_in v u in
+      let pp = divexact u cont in
+      merge (yun v pp) (decompose cont)
+
+let squarefree u =
+  if Poly.is_zero u then invalid_arg "Squarefree.squarefree: zero polynomial";
+  match Poly.to_const_opt u with
+  | Some c -> { unit_part = c; factors = [] }
+  | None ->
+    let c = Poly.content u in
+    let c = if Z.is_negative (fst (Poly.leading u)) then Z.neg c else c in
+    let prim = Poly.div_scalar_exact u c in
+    { unit_part = c; factors = decompose prim }
+
+let expand { unit_part; factors } =
+  List.fold_left
+    (fun acc (s, k) -> Poly.mul acc (Poly.pow s k))
+    (Poly.const unit_part) factors
+
+let is_squarefree u =
+  if Poly.is_const u then true
+  else List.for_all (fun (_, k) -> k = 1) (squarefree u).factors
+
+let is_trivial { unit_part; factors } =
+  Z.is_one unit_part && match factors with [ (_, 1) ] -> true | _ -> false
+
+let integer_root_abs n k =
+  (* binary search for r with r^k = n *)
+  let rec search lo hi =
+    if Z.compare lo hi > 0 then None
+    else
+      let mid = Z.div (Z.add lo hi) Z.two in
+      let p = Z.pow mid k in
+      let c = Z.compare p n in
+      if c = 0 then Some mid
+      else if c < 0 then search (Z.add mid Z.one) hi
+      else search lo (Z.sub mid Z.one)
+  in
+  search Z.zero n
+
+let integer_root n k =
+  if k < 1 then invalid_arg "Squarefree.integer_root: k < 1";
+  if k = 1 then Some n
+  else if Z.is_negative n then
+    if k land 1 = 0 then None
+    else Option.map Z.neg (integer_root_abs (Z.abs n) k)
+  else integer_root_abs n k
+
+let perfect_power_root u =
+  if Poly.is_zero u || Poly.is_const u then None
+  else begin
+    let { unit_part; factors } = squarefree u in
+    let rec igcd a b = if b = 0 then a else igcd b (a mod b) in
+    let k = List.fold_left (fun acc (_, e) -> igcd acc e) 0 factors in
+    (* try divisors of k from largest to smallest *)
+    let rec try_k k =
+      if k < 2 then None
+      else if
+        List.for_all (fun (_, e) -> e mod k = 0) factors
+      then
+        match integer_root unit_part k with
+        | Some root ->
+          let v =
+            List.fold_left
+              (fun acc (s, e) -> Poly.mul acc (Poly.pow s (e / k)))
+              (Poly.const root) factors
+          in
+          Some (v, k)
+        | None -> try_k (k - 1)
+      else try_k (k - 1)
+    in
+    try_k k
+  end

@@ -1,0 +1,40 @@
+(** Square-free factorization (Section 14.3.2).
+
+    Every [u] in [Z\[x_1..x_n\]] factors uniquely as
+    [u = c * s_1 * s_2^2 * ... * s_m^m] with the [s_i] square-free, pairwise
+    coprime and primitive with positive leading coefficients.  The synthesis
+    flow uses the factored form both as a candidate representation (fewer
+    operations when non-trivial powers exist) and as a source of building
+    blocks such as [(x + y)] from [x^2 + 2xy + y^2]. *)
+
+module Z := Polysynth_zint.Zint
+module Poly := Polysynth_poly.Poly
+
+type factorization = {
+  unit_part : Z.t;  (** the integer content, with the overall sign *)
+  factors : (Poly.t * int) list;
+      (** [(s, k)] pairs with [k >= 1], increasing [k], each [s]
+          non-constant *)
+}
+
+val squarefree : Poly.t -> factorization
+(** @raise Invalid_argument on the zero polynomial. *)
+
+val expand : factorization -> Poly.t
+(** Multiply the factorization back out (inverse of {!squarefree}). *)
+
+val is_squarefree : Poly.t -> bool
+(** True when no non-constant square divides the polynomial.  Constants are
+    square-free. *)
+
+val is_trivial : factorization -> bool
+(** True when the factorization is just [1 * u^1] (no structure found). *)
+
+val perfect_power_root : Poly.t -> (Poly.t * int) option
+(** [perfect_power_root u = Some (v, k)] with the largest [k >= 2] such that
+    [u = v^k] (e.g. [x^2 + 2xy + y^2] gives [(x + y, 2)]); [None] when [u]
+    is not a perfect power. *)
+
+val integer_root : Z.t -> int -> Z.t option
+(** [integer_root n k] is the exact [k]-th root of [n] when it exists
+    ([k >= 1]; negative [n] allowed for odd [k]). *)

@@ -1,0 +1,1 @@
+lib/finite_ring/canonical.ml: Fun List Polysynth_poly Polysynth_zint Smarandache Stdlib Stirling

@@ -1,0 +1,1 @@
+lib/finite_ring/canonical.mli: Polysynth_poly Polysynth_zint

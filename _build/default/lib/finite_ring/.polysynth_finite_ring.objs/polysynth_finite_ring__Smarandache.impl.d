@@ -1,0 +1,1 @@
+lib/finite_ring/smarandache.ml:

@@ -1,0 +1,1 @@
+lib/finite_ring/stirling.ml: Array List Polysynth_zint

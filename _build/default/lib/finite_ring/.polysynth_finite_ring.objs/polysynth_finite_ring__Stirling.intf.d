@@ -1,0 +1,1 @@
+lib/finite_ring/stirling.mli: Polysynth_zint

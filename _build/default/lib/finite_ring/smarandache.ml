@@ -1,0 +1,12 @@
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+let val2_factorial k =
+  if k < 0 then invalid_arg "Smarandache.val2_factorial: negative input";
+  k - popcount k
+
+let lambda m =
+  if m <= 0 then invalid_arg "Smarandache.lambda: non-positive width";
+  let rec search k = if val2_factorial k >= m then k else search (k + 1) in
+  search 1

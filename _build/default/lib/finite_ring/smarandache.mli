@@ -1,0 +1,12 @@
+(** The Smarandache-style threshold used by canonical forms over [Z_2^m]:
+    [lambda m] is the least [k] such that [2^m] divides [k!].
+
+    For example [lambda 16 = 18] because [v2(18!) = 16] while
+    [v2(17!) = 15]. *)
+
+val lambda : int -> int
+(** @raise Invalid_argument on a non-positive width. *)
+
+val val2_factorial : int -> int
+(** [val2_factorial k] is the 2-adic valuation of [k!]
+    (Legendre: [k - popcount k]). @raise Invalid_argument on negative [k]. *)

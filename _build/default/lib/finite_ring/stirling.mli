@@ -1,0 +1,13 @@
+(** Stirling-number conversions between the power basis [x^n] and the
+    falling-factorial basis [Y_k(x) = x(x-1)...(x-k+1)].
+
+    [x^n = sum_k second n k * Y_k(x)] and
+    [Y_n(x) = sum_k first_signed n k * x^k]. *)
+
+val second : int -> int -> Polysynth_zint.Zint.t
+(** Stirling numbers of the second kind [S(n, k)]; zero outside
+    [0 <= k <= n].  @raise Invalid_argument on negative arguments. *)
+
+val first_signed : int -> int -> Polysynth_zint.Zint.t
+(** Signed Stirling numbers of the first kind [s(n, k)]; zero outside
+    [0 <= k <= n].  @raise Invalid_argument on negative arguments. *)

@@ -1,0 +1,1 @@
+lib/groebner/buchberger.ml: Array List Option Polysynth_expr Polysynth_poly Polysynth_rat Polysynth_zint Qpoly Queue String

@@ -1,0 +1,1 @@
+lib/groebner/buchberger.mli: Polysynth_expr Polysynth_poly Qpoly

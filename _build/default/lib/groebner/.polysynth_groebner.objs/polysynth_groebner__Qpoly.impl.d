@@ -1,0 +1,1 @@
+lib/groebner/qpoly.ml: List Polysynth_poly Polysynth_rat Polysynth_zint Stdlib String

@@ -1,0 +1,1 @@
+lib/groebner/qpoly.mli: Polysynth_poly Polysynth_rat Polysynth_zint

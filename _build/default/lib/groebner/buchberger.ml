@@ -1,0 +1,127 @@
+module Z = Polysynth_zint.Zint
+module Q = Polysynth_rat.Qint
+module Monomial = Polysynth_poly.Monomial
+module Poly = Polysynth_poly.Poly
+module Expr = Polysynth_expr.Expr
+
+let reduce basis p =
+  let basis = List.filter (fun g -> not (Qpoly.is_zero g)) basis in
+  let rec go residue p =
+    if Qpoly.is_zero p then residue
+    else begin
+      let cp, mp = Qpoly.leading p in
+      match
+        List.find_opt
+          (fun g -> Monomial.divides (snd (Qpoly.leading g)) mp)
+          basis
+      with
+      | Some g ->
+        let cg, mg = Qpoly.leading g in
+        let quot_m = Option.get (Monomial.div mp mg) in
+        go residue (Qpoly.sub p (Qpoly.mul_term (Q.div cp cg) quot_m g))
+      | None ->
+        let head =
+          Qpoly.mul_term cp mp (Qpoly.const (Qpoly.order_of p) Q.one)
+        in
+        go (Qpoly.add residue head) (Qpoly.sub p head)
+    end
+  in
+  go (Qpoly.zero (Qpoly.order_of p)) p
+
+let s_polynomial f g =
+  let cf, mf = Qpoly.leading f and cg, mg = Qpoly.leading g in
+  let l = Monomial.lcm mf mg in
+  let uf = Option.get (Monomial.div l mf) in
+  let ug = Option.get (Monomial.div l mg) in
+  Qpoly.sub
+    (Qpoly.mul_term (Q.inv cf) uf f)
+    (Qpoly.mul_term (Q.inv cg) ug g)
+
+let basis ?(max_steps = 2000) generators =
+  let generators =
+    List.map Qpoly.monic
+      (List.filter (fun g -> not (Qpoly.is_zero g)) generators)
+  in
+  match generators with
+  | [] -> []
+  | _ ->
+    let g = ref (Array.of_list generators) in
+    let pairs = Queue.create () in
+    let n0 = Array.length !g in
+    for i = 0 to n0 - 1 do
+      for j = i + 1 to n0 - 1 do
+        Queue.add (i, j) pairs
+      done
+    done;
+    let steps = ref 0 in
+    while not (Queue.is_empty pairs) do
+      incr steps;
+      if !steps > max_steps then
+        failwith "Buchberger.basis: completion exceeded max_steps";
+      let i, j = Queue.pop pairs in
+      let gi = !g.(i) and gj = !g.(j) in
+      let _, mi = Qpoly.leading gi and _, mj = Qpoly.leading gj in
+      (* Buchberger's first criterion: coprime leading monomials reduce
+         to zero automatically *)
+      if not (Monomial.is_one (Monomial.gcd mi mj)) then begin
+        let r = reduce (Array.to_list !g) (s_polynomial gi gj) in
+        if not (Qpoly.is_zero r) then begin
+          let r = Qpoly.monic r in
+          let idx = Array.length !g in
+          g := Array.append !g [| r |];
+          for k = 0 to idx - 1 do
+            Queue.add (k, idx) pairs
+          done
+        end
+      end
+    done;
+    (* inter-reduce: drop elements whose leading monomial is divisible by
+       another's, then reduce each tail by the others *)
+    let items = Array.to_list !g in
+    let minimal =
+      List.filteri
+        (fun i gi ->
+          let _, mi = Qpoly.leading gi in
+          not
+            (List.exists
+               (fun (j, gj) ->
+                 j <> i
+                 &&
+                 let _, mj = Qpoly.leading gj in
+                 Monomial.divides mj mi
+                 && (not (Monomial.equal mj mi) || j < i))
+               (List.mapi (fun j gj -> (j, gj)) items)))
+        items
+    in
+    List.map
+      (fun gi ->
+        let others = List.filter (fun gj -> not (Qpoly.equal gj gi)) minimal in
+        Qpoly.monic (reduce others gi))
+      minimal
+
+let ideal_member gb p = Qpoly.is_zero (reduce gb p)
+
+
+let rewrite_with_library ~library p =
+  if Poly.is_zero p || library = [] then None
+  else begin
+    let input_vars =
+      List.sort_uniq String.compare
+        (Poly.vars p @ List.concat_map (fun (_, b) -> Poly.vars b) library)
+    in
+    let block_vars = List.map fst library in
+    (* elimination order: original variables are more significant, so the
+       normal form prefers block variables *)
+    let ord = Qpoly.lex (input_vars @ block_vars) in
+    let generators =
+      List.map
+        (fun (name, b) -> Qpoly.of_poly ord (Poly.sub (Poly.var name) b))
+        library
+    in
+    let gb = basis generators in
+    let nf = reduce gb (Qpoly.of_poly ord p) in
+    let zpoly, denom = Qpoly.to_poly nf in
+    if not (Z.is_one denom) then None
+    else if Poly.equal zpoly p then None
+    else Some (Expr.of_poly zpoly, zpoly)
+  end

@@ -1,0 +1,110 @@
+module Z = Polysynth_zint.Zint
+module Q = Polysynth_rat.Qint
+module Monomial = Polysynth_poly.Monomial
+module Poly = Polysynth_poly.Poly
+
+type order = Monomial.t -> Monomial.t -> int
+
+let grlex = Monomial.compare
+
+let lex priority a b =
+  (* significance: listed variables by position, then the rest
+     alphabetically below them *)
+  let rank v =
+    let rec find i = function
+      | [] -> None
+      | v' :: rest -> if String.equal v v' then Some i else find (i + 1) rest
+    in
+    find 0 priority
+  in
+  let vars =
+    List.sort_uniq
+      (fun v1 v2 ->
+        match rank v1, rank v2 with
+        | Some i, Some j -> Stdlib.compare i j
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> String.compare v1 v2)
+      (Monomial.vars a @ Monomial.vars b)
+  in
+  let rec cmp = function
+    | [] -> 0
+    | v :: rest ->
+      let c = Stdlib.compare (Monomial.degree_of v a) (Monomial.degree_of v b) in
+      if c <> 0 then c else cmp rest
+  in
+  cmp vars
+
+(* terms sorted descending under [ord], no zero coefficients *)
+type t = { ord : order; terms : (Q.t * Monomial.t) list }
+
+let zero ord = { ord; terms = [] }
+
+let const ord c =
+  if Q.is_zero c then zero ord else { ord; terms = [ (c, Monomial.one) ] }
+
+let order_of p = p.ord
+
+let is_zero p = p.terms = []
+
+let terms p = p.terms
+
+let of_terms ord list =
+  let sorted =
+    List.stable_sort (fun (_, m1) (_, m2) -> ord m2 m1) list
+  in
+  let rec combine = function
+    | [] -> []
+    | (c, m) :: rest ->
+      (match combine rest with
+       | (c', m') :: tail when Monomial.equal m m' ->
+         let s = Q.add c c' in
+         if Q.is_zero s then tail else (s, m) :: tail
+       | tail -> if Q.is_zero c then tail else (c, m) :: tail)
+  in
+  { ord; terms = combine sorted }
+
+let of_poly ord p =
+  of_terms ord
+    (List.map (fun (c, m) -> (Q.of_zint c, m)) (Poly.terms p))
+
+let leading p =
+  match p.terms with
+  | [] -> invalid_arg "Qpoly.leading: zero polynomial"
+  | t :: _ -> t
+
+let add a b = of_terms a.ord (a.terms @ b.terms)
+
+let scale k p =
+  if Q.is_zero k then { p with terms = [] }
+  else { p with terms = List.map (fun (c, m) -> (Q.mul k c, m)) p.terms }
+
+let sub a b = add a (scale Q.minus_one b)
+
+let mul_term k m p =
+  if Q.is_zero k then { p with terms = [] }
+  else
+    of_terms p.ord
+      (List.map (fun (c, m') -> (Q.mul k c, Monomial.mul m m')) p.terms)
+
+let monic p =
+  if is_zero p then p else scale (Q.inv (fst (leading p))) p
+
+let equal a b =
+  List.length a.terms = List.length b.terms
+  && List.for_all2
+       (fun (c, m) (c', m') -> Q.equal c c' && Monomial.equal m m')
+       a.terms b.terms
+
+let to_poly p =
+  let denom =
+    List.fold_left (fun acc (c, _) -> Z.lcm acc (Q.den c)) Z.one p.terms
+  in
+  let zp =
+    Poly.of_terms
+      (List.map
+         (fun (c, m) ->
+           (Q.to_zint_exn (Q.mul c (Q.of_zint denom)), m))
+         p.terms)
+  in
+  (zp, denom)

@@ -1,0 +1,1 @@
+lib/hw/bind.ml: Array Hashtbl List Netlist Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/hw/bind.mli: Netlist Schedule

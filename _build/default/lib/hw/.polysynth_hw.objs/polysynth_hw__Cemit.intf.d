@@ -1,0 +1,1 @@
+lib/hw/cemit.mli: Netlist

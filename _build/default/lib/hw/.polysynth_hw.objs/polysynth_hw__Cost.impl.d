@@ -1,0 +1,1 @@
+lib/hw/cost.ml: Array Float Format List Netlist Polysynth_zint Stdlib

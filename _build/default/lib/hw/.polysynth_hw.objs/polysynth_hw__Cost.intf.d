@@ -1,0 +1,1 @@
+lib/hw/cost.mli: Format Netlist Polysynth_expr Polysynth_zint

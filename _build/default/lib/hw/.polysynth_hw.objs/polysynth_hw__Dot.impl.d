@@ -1,0 +1,1 @@
+lib/hw/dot.ml: Array Buffer List Netlist Polysynth_zint Printf String

@@ -1,0 +1,1 @@
+lib/hw/dot.mli: Netlist

@@ -1,0 +1,1 @@
+lib/hw/fsmd.ml: Array Bind Buffer List Netlist Polysynth_zint Printf Schedule Stdlib String Verilog

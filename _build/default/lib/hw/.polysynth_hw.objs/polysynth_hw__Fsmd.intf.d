@@ -1,0 +1,1 @@
+lib/hw/fsmd.mli: Netlist Polysynth_zint Schedule

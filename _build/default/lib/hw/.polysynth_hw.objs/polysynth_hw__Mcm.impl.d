@@ -1,0 +1,1 @@
+lib/hw/mcm.ml: Array Hashtbl List Map Netlist Polysynth_zint Stdlib

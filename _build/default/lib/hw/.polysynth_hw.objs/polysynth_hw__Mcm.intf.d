@@ -1,0 +1,1 @@
+lib/hw/mcm.mli: Netlist Polysynth_zint

@@ -1,0 +1,1 @@
+lib/hw/netlist.ml: Array Hashtbl List Polysynth_expr Polysynth_zint String

@@ -1,0 +1,1 @@
+lib/hw/netlist.mli: Polysynth_expr Polysynth_zint

@@ -1,0 +1,1 @@
+lib/hw/power.ml: Array Cost Format List Netlist Polysynth_zint

@@ -1,0 +1,1 @@
+lib/hw/power.mli: Format Netlist

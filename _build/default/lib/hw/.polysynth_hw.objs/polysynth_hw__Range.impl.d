@@ -1,0 +1,1 @@
+lib/hw/range.ml: Array List Netlist Option Polysynth_zint Stdlib

@@ -1,0 +1,1 @@
+lib/hw/range.mli: Netlist Polysynth_zint

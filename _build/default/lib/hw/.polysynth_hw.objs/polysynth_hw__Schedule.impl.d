@@ -1,0 +1,1 @@
+lib/hw/schedule.ml: Array List Netlist Stdlib

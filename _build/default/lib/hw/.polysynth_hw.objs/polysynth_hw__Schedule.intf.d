@@ -1,0 +1,1 @@
+lib/hw/schedule.mli: Netlist

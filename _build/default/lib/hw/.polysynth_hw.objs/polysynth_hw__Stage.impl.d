@@ -1,0 +1,1 @@
+lib/hw/stage.ml: Array Cost List Netlist Stdlib

@@ -1,0 +1,1 @@
+lib/hw/stage.mli: Cost Netlist

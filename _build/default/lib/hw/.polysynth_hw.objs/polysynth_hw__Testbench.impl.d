@@ -1,0 +1,1 @@
+lib/hw/testbench.ml: Buffer List Netlist Polysynth_zint Printf String Verilog

@@ -1,0 +1,1 @@
+lib/hw/testbench.mli: Netlist

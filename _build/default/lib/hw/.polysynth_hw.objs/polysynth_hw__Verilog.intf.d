@@ -1,0 +1,1 @@
+lib/hw/verilog.mli: Netlist Polysynth_expr

@@ -1,0 +1,186 @@
+type binding = {
+  unit_of : (int * int) array;
+  register_of : int array;
+  num_multipliers : int;
+  num_adders : int;
+  num_registers : int;
+  mux_inputs : int;
+}
+
+type unit_class = Free | Mult_unit | Add_unit
+
+let class_of op =
+  match (op : Netlist.op) with
+  | Netlist.Input _ | Netlist.Constant _ | Netlist.Negate | Netlist.Shl _ ->
+    Free
+  | Netlist.Mult2 -> Mult_unit
+  | Netlist.Add2 | Netlist.Sub2 | Netlist.Cmult _ -> Add_unit
+
+let class_code = function Free -> 0 | Mult_unit -> 1 | Add_unit -> 2
+
+let duration (lm : Schedule.latency_model) op =
+  match class_of op with
+  | Free -> 0
+  | Mult_unit -> lm.Schedule.mult_cycles
+  | Add_unit -> lm.Schedule.add_cycles
+
+let bind ?(latency_model = Schedule.default_latency) _resources
+    (n : Netlist.t) (s : Schedule.schedule) =
+  let cells = n.Netlist.cells in
+  let num = Array.length cells in
+  if Array.length s.Schedule.start_step <> num then
+    invalid_arg "Bind.bind: schedule does not match the netlist";
+  let lm = latency_model in
+  (* ---- functional units: greedy reuse in (start step, id) order ------- *)
+  let unit_of = Array.make num (0, 0) in
+  let assign cls =
+    (* busy-until time per allocated unit of this class *)
+    let units : int ref list ref = ref [] in
+    let order =
+      Array.to_list cells
+      |> List.filter (fun c -> class_of c.Netlist.op = cls)
+      |> List.sort (fun a b ->
+             let sa = s.Schedule.start_step.(a.Netlist.id)
+             and sb = s.Schedule.start_step.(b.Netlist.id) in
+             if sa <> sb then Stdlib.compare sa sb
+             else Stdlib.compare a.Netlist.id b.Netlist.id)
+    in
+    List.iter
+      (fun cell ->
+        let t = s.Schedule.start_step.(cell.Netlist.id) in
+        let fin = t + duration lm cell.Netlist.op in
+        let rec find i = function
+          | [] ->
+            units := !units @ [ ref fin ];
+            i
+          | u :: rest ->
+            if !u <= t then begin
+              u := fin;
+              i
+            end
+            else find (i + 1) rest
+        in
+        let idx = find 0 !units in
+        unit_of.(cell.Netlist.id) <- (class_code cls, idx))
+      order;
+    List.length !units
+  in
+  let num_multipliers = assign Mult_unit in
+  let num_adders = assign Add_unit in
+  (* ---- registers: left-edge on lifetimes ------------------------------- *)
+  (* a value is alive from its finish step to the latest start step of a
+     consumer; it needs a register iff that interval is non-empty *)
+  let finish i = s.Schedule.start_step.(i) + duration lm cells.(i).Netlist.op in
+  let last_use = Array.make num (-1) in
+  Array.iter
+    (fun cell ->
+      List.iter
+        (fun src ->
+          last_use.(src) <-
+            Stdlib.max last_use.(src) s.Schedule.start_step.(cell.Netlist.id))
+        cell.Netlist.fanin)
+    cells;
+  (* outputs stay alive to the end *)
+  List.iter
+    (fun (_, i) -> last_use.(i) <- Stdlib.max last_use.(i) s.Schedule.latency)
+    n.Netlist.outputs;
+  let needs_register i =
+    match class_of cells.(i).Netlist.op with
+    | Free -> false (* wires/constants/inputs are always available *)
+    | Mult_unit | Add_unit -> last_use.(i) > finish i || last_use.(i) < 0
+  in
+  let intervals =
+    Array.to_list cells
+    |> List.filter_map (fun c ->
+           let i = c.Netlist.id in
+           if needs_register i && last_use.(i) >= 0 then
+             Some (i, finish i, last_use.(i))
+           else None)
+    |> List.sort (fun (_, a, _) (_, b, _) -> Stdlib.compare a b)
+  in
+  let register_of = Array.make num (-1) in
+  let registers : int ref list ref = ref [] in
+  List.iter
+    (fun (i, start, stop) ->
+      let rec find k = function
+        | [] ->
+          registers := !registers @ [ ref stop ];
+          k
+        | r :: rest -> if !r < start then begin r := stop; k end else find (k + 1) rest
+      in
+      register_of.(i) <- find 0 !registers)
+    intervals;
+  (* ---- mux inputs: distinct sources per (unit, port) -------------------- *)
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun cell ->
+      match class_of cell.Netlist.op with
+      | Free -> ()
+      | Mult_unit | Add_unit ->
+        List.iteri
+          (fun port src ->
+            let key = (unit_of.(cell.Netlist.id), port) in
+            let prev =
+              match Hashtbl.find_opt tbl key with Some s -> s | None -> []
+            in
+            if not (List.mem src prev) then
+              Hashtbl.replace tbl key (src :: prev))
+          cell.Netlist.fanin)
+    cells;
+  let mux_inputs = Hashtbl.fold (fun _ srcs acc -> acc + List.length srcs) tbl 0 in
+  {
+    unit_of;
+    register_of;
+    num_multipliers;
+    num_adders;
+    num_registers = List.length !registers;
+    mux_inputs;
+  }
+
+let is_consistent (n : Netlist.t) (s : Schedule.schedule) b =
+  let cells = n.Netlist.cells in
+  let num = Array.length cells in
+  let lm = Schedule.default_latency in
+  let ok = ref true in
+  (* units: no temporal overlap on the same physical unit *)
+  for i = 0 to num - 1 do
+    for j = i + 1 to num - 1 do
+      let ci = cells.(i) and cj = cells.(j) in
+      if
+        class_of ci.Netlist.op <> Free
+        && b.unit_of.(i) = b.unit_of.(j)
+        && class_of ci.Netlist.op = class_of cj.Netlist.op
+      then begin
+        let si = s.Schedule.start_step.(i)
+        and sj = s.Schedule.start_step.(j) in
+        let fi = si + duration lm ci.Netlist.op
+        and fj = sj + duration lm cj.Netlist.op in
+        if si < fj && sj < fi then ok := false
+      end
+    done
+  done;
+  (* registers: overlapping lifetimes never share *)
+  let finish i = s.Schedule.start_step.(i) + duration lm cells.(i).Netlist.op in
+  let last_use = Array.make num (-1) in
+  Array.iter
+    (fun cell ->
+      List.iter
+        (fun src ->
+          last_use.(src) <-
+            Stdlib.max last_use.(src) s.Schedule.start_step.(cell.Netlist.id))
+        cell.Netlist.fanin)
+    cells;
+  List.iter
+    (fun (_, i) -> last_use.(i) <- Stdlib.max last_use.(i) s.Schedule.latency)
+    n.Netlist.outputs;
+  for i = 0 to num - 1 do
+    for j = i + 1 to num - 1 do
+      if
+        b.register_of.(i) >= 0
+        && b.register_of.(i) = b.register_of.(j)
+        && finish i < last_use.(j)
+        && finish j < last_use.(i)
+      then ok := false
+    done
+  done;
+  !ok

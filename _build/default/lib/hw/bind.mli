@@ -1,0 +1,39 @@
+(** Resource binding: map a scheduled netlist onto concrete functional
+    units and registers.
+
+    After {!Schedule} assigns start steps, binding decides which physical
+    multiplier/adder executes each operation (greedy reuse in step order)
+    and allocates registers for values that must survive across steps
+    (left-edge algorithm on lifetime intervals).  The report quantifies
+    the resource side of a decomposition: fewer operations generally mean
+    fewer units, but heavy sharing lengthens lifetimes and can cost
+    registers and multiplexing. *)
+
+type binding = {
+  unit_of : (int * int) array;
+      (** per cell id: (unit class, unit index); class 0 = free/wire,
+          1 = multiplier, 2 = adder *)
+  register_of : int array;
+      (** per cell id: register index holding its result, or [-1] when
+          the value never crosses a step boundary *)
+  num_multipliers : int;
+  num_adders : int;
+  num_registers : int;
+  mux_inputs : int;
+      (** total distinct sources over all unit input ports: a proxy for
+          steering-logic cost *)
+}
+
+val bind :
+  ?latency_model:Schedule.latency_model ->
+  Schedule.resources ->
+  Netlist.t ->
+  Schedule.schedule ->
+  binding
+(** @raise Invalid_argument if the schedule does not belong to the
+    netlist (array sizes differ). *)
+
+val is_consistent : Netlist.t -> Schedule.schedule -> binding -> bool
+(** Checker: no two operations share a unit in overlapping time, unit
+    counts within the declared totals, every multi-step value has a
+    register, and no two values with overlapping lifetimes share one. *)

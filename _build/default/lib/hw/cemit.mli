@@ -1,0 +1,22 @@
+(** C code emission: the software counterpart of the Verilog back-end.
+
+    The generated function computes every output of the decomposition with
+    wrap-around [width]-bit unsigned arithmetic (C unsigned overflow is
+    defined, so masking after every operation gives exactly the bit-vector
+    semantics of {!Netlist.eval}).  Widths up to 64 bits are supported.
+
+    With [self_check], the file also contains a [main] that evaluates a
+    deterministic set of input vectors against expected values baked in at
+    emission time (computed by the reference simulator) and exits non-zero
+    on any mismatch — so compiling and running the output is an end-to-end
+    semantic check of the decomposition. *)
+
+val emit :
+  ?func_name:string ->
+  ?self_check:int ->
+  ?seed:int ->
+  Netlist.t ->
+  string
+(** [func_name] defaults to "polysynth"; [self_check] (a vector count)
+    adds the self-checking [main]; [seed] (default 1) drives the vector
+    generator.  @raise Invalid_argument when the width exceeds 64 bits. *)

@@ -1,0 +1,24 @@
+(** Multiple-constant multiplication (MCM) optimization.
+
+    Constant multiplications dominate polynomial datapaths, and when one
+    value feeds several of them (e.g. the shared [x*y] node of a
+    Savitzky-Golay bank multiplied by 4, 12 and 36) their shift-add
+    networks can share partial terms.  This pass rewrites every group of
+    [Cmult] cells with a common operand into an explicit network of
+    shifts, adders and subtractors, sharing sub-patterns across the group
+    with Hartley-style common-subexpression extraction on the CSD digit
+    strings.  Single constant multiplications are lowered too (cost
+    neutral: the cost model already prices a lone [Cmult] as its CSD
+    adder count). *)
+
+module Z := Polysynth_zint.Zint
+
+val csd_digits : Z.t -> (int * int) list
+(** Canonical-signed-digit decomposition of a positive constant:
+    [(sign, shift)] pairs with sign in {-1, +1}, increasing shift, such
+    that [c = sum sign * 2^shift].  @raise Invalid_argument on
+    non-positive input. *)
+
+val optimize : Netlist.t -> Netlist.t
+(** Rewrite all constant multiplications as shared shift-add networks.
+    The result computes the same outputs ({!Netlist.eval}-equivalent). *)

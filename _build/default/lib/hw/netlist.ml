@@ -1,0 +1,135 @@
+module Z = Polysynth_zint.Zint
+module Dag = Polysynth_expr.Dag
+module Prog = Polysynth_expr.Prog
+
+type op =
+  | Input of string
+  | Constant of Z.t
+  | Negate
+  | Add2
+  | Sub2
+  | Mult2
+  | Cmult of Z.t
+  | Shl of int
+
+type cell = { id : int; op : op; fanin : int list }
+
+type t = {
+  cells : cell array;
+  outputs : (string * int) list;
+  width : int;
+}
+
+let of_dag ~width dag ~outputs =
+  let roots = List.map snd outputs in
+  let live = Dag.live dag ~roots in
+  (* first pass: which constants survive as real cells? a constant feeding
+     only multiplications is folded into Cmult cells *)
+  let const_of i =
+    match Dag.node dag i with Dag.Nconst c -> Some c | _ -> None
+  in
+  let const_needed = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      match Dag.node dag i with
+      | Dag.Nconst _ | Dag.Nvar _ -> ()
+      | Dag.Nneg a -> (
+          match const_of a with
+          | Some _ -> Hashtbl.replace const_needed a ()
+          | None -> ())
+      | Dag.Nadd (a, b) | Dag.Nsub (a, b) ->
+        List.iter
+          (fun x ->
+            match const_of x with
+            | Some _ -> Hashtbl.replace const_needed x ()
+            | None -> ())
+          [ a; b ]
+      | Dag.Nmul (a, b) -> (
+          (* a multiplication with exactly one constant operand becomes a
+             Cmult cell that embeds the value; only a (degenerate) product
+             of two constants keeps its operands as cells *)
+          match const_of a, const_of b with
+          | Some _, Some _ ->
+            Hashtbl.replace const_needed a ();
+            Hashtbl.replace const_needed b ()
+          | _ -> ()))
+    live;
+  List.iter
+    (fun (_, r) ->
+      match const_of r with
+      | Some _ -> Hashtbl.replace const_needed r ()
+      | None -> ())
+    outputs;
+  let id_map = Hashtbl.create 64 in
+  let cells = ref [] in
+  let next = ref 0 in
+  let emit op fanin =
+    let id = !next in
+    incr next;
+    cells := { id; op; fanin } :: !cells;
+    id
+  in
+  List.iter
+    (fun i ->
+      let skip_const =
+        match const_of i with
+        | Some _ -> not (Hashtbl.mem const_needed i)
+        | None -> false
+      in
+      if not skip_const then begin
+        let resolve j = Hashtbl.find id_map j in
+        let cell_id =
+          match Dag.node dag i with
+          | Dag.Nconst c -> emit (Constant c) []
+          | Dag.Nvar v -> emit (Input v) []
+          | Dag.Nneg a -> emit Negate [ resolve a ]
+          | Dag.Nadd (a, b) -> emit Add2 [ resolve a; resolve b ]
+          | Dag.Nsub (a, b) -> emit Sub2 [ resolve a; resolve b ]
+          | Dag.Nmul (a, b) -> (
+              match const_of a, const_of b with
+              | Some ca, None -> emit (Cmult ca) [ resolve b ]
+              | None, Some cb -> emit (Cmult cb) [ resolve a ]
+              | Some _, Some _ | None, None ->
+                emit Mult2 [ resolve a; resolve b ])
+        in
+        Hashtbl.replace id_map i cell_id
+      end)
+    live;
+  {
+    cells = Array.of_list (List.rev !cells);
+    outputs = List.map (fun (n, r) -> (n, Hashtbl.find id_map r)) outputs;
+    width;
+  }
+
+let of_prog ~width prog =
+  let dag, roots = Prog.to_dag prog in
+  of_dag ~width dag ~outputs:roots
+
+let num_cells n = Array.length n.cells
+
+let inputs n =
+  Array.to_list n.cells
+  |> List.filter_map (fun c ->
+         match c.op with Input v -> Some v | _ -> None)
+  |> List.sort_uniq String.compare
+
+let eval n env =
+  let values = Array.make (Array.length n.cells) Z.zero in
+  let clamp v = Z.erem_pow2 v n.width in
+  Array.iter
+    (fun cell ->
+      let arg k = values.(List.nth cell.fanin k) in
+      let v =
+        match cell.op with
+        | Input v -> env v
+        | Constant c -> c
+        | Negate -> Z.neg (arg 0)
+        | Add2 -> Z.add (arg 0) (arg 1)
+        | Sub2 -> Z.sub (arg 0) (arg 1)
+        | Mult2 -> Z.mul (arg 0) (arg 1)
+        | Cmult c -> Z.mul c (arg 0)
+        | Shl k -> Z.mul (Z.pow2 k) (arg 0)
+      in
+      values.(cell.id) <- clamp v)
+    n.cells;
+  List.map (fun (name, id) -> (name, values.(id))) n.outputs

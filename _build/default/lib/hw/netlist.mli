@@ -1,0 +1,43 @@
+(** Operator-level netlists.
+
+    A netlist is the hardware view of an expression DAG: one cell per live
+    operator, with constant multiplications classified separately (they
+    synthesize to shift-add networks, much cheaper than a general
+    multiplier).  The cost model and the Verilog emitter both work from this
+    representation, mirroring the paper's hand-off of each decomposition to
+    Synopsys Design Compiler. *)
+
+module Z := Polysynth_zint.Zint
+module Dag := Polysynth_expr.Dag
+
+type op =
+  | Input of string
+  | Constant of Z.t
+  | Negate
+  | Add2
+  | Sub2
+  | Mult2  (** general multiplier *)
+  | Cmult of Z.t  (** multiplication by a constant *)
+  | Shl of int  (** left shift by a constant amount: free wiring *)
+
+type cell = { id : int; op : op; fanin : int list }
+
+type t = {
+  cells : cell array;  (** topologically ordered: fanin ids precede users *)
+  outputs : (string * int) list;
+  width : int;  (** operand bit-width *)
+}
+
+val of_dag : width:int -> Dag.t -> outputs:(string * Dag.id) list -> t
+(** Keep only the nodes reachable from the outputs; multiplications with a
+    constant operand become [Cmult] cells (the constant cell itself is kept
+    only if some other cell still reads it). *)
+
+val of_prog : width:int -> Polysynth_expr.Prog.t -> t
+
+val num_cells : t -> int
+val inputs : t -> string list
+
+val eval : t -> (string -> Z.t) -> (string * Z.t) list
+(** Bit-accurate evaluation: every cell result is reduced into
+    [[0, 2^width)] (wrap-around bit-vector arithmetic). *)

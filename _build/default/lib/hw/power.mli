@@ -1,0 +1,24 @@
+(** Switching-activity power estimation — the paper's stated future work
+    ("we would like to investigate the use of algebraic transformations in
+    low-power synthesis of arithmetic datapaths").
+
+    Dynamic power of a cell is modelled as (toggle activity of its output)
+    x (its area, as a capacitance proxy).  Activity is measured by
+    bit-accurate simulation of the netlist on a deterministic stream of
+    random input vectors: for consecutive vectors, the Hamming distance of
+    each cell's output value is accumulated.  Deterministic in the seed. *)
+
+type report = {
+  dynamic : float;  (** sum over cells of activity x area, in
+                        gate-equivalent toggle units *)
+  leakage : float;  (** proportional to total area *)
+  total : float;
+  per_cell_activity : float array;  (** average toggles per transition,
+                                        indexed by cell id *)
+}
+
+val estimate : ?samples:int -> ?seed:int -> Netlist.t -> report
+(** [samples] (default 64) is the number of input transitions simulated;
+    [seed] (default 1) drives the deterministic input generator. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,61 @@
+module Z = Polysynth_zint.Zint
+
+type interval = { lo : Z.t; hi : Z.t }
+
+let point v = { lo = v; hi = v }
+
+let add_iv a b = { lo = Z.add a.lo b.lo; hi = Z.add a.hi b.hi }
+
+let neg_iv a = { lo = Z.neg a.hi; hi = Z.neg a.lo }
+
+let sub_iv a b = add_iv a (neg_iv b)
+
+let mul_iv a b =
+  let products =
+    [ Z.mul a.lo b.lo; Z.mul a.lo b.hi; Z.mul a.hi b.lo; Z.mul a.hi b.hi ]
+  in
+  {
+    lo = List.fold_left Z.min (List.hd products) (List.tl products);
+    hi = List.fold_left Z.max (List.hd products) (List.tl products);
+  }
+
+let analyze ?input_range (n : Netlist.t) =
+  let default_input _ =
+    { lo = Z.zero; hi = Z.sub (Z.pow2 n.Netlist.width) Z.one }
+  in
+  let input_range = Option.value input_range ~default:default_input in
+  let ranges = Array.make (Array.length n.Netlist.cells) (point Z.zero) in
+  Array.iter
+    (fun cell ->
+      let arg k = ranges.(List.nth cell.Netlist.fanin k) in
+      let iv =
+        match cell.Netlist.op with
+        | Netlist.Input v -> input_range v
+        | Netlist.Constant c -> point c
+        | Netlist.Negate -> neg_iv (arg 0)
+        | Netlist.Add2 -> add_iv (arg 0) (arg 1)
+        | Netlist.Sub2 -> sub_iv (arg 0) (arg 1)
+        | Netlist.Mult2 -> mul_iv (arg 0) (arg 1)
+        | Netlist.Cmult c -> mul_iv (point c) (arg 0)
+        | Netlist.Shl k -> mul_iv (point (Z.pow2 k)) (arg 0)
+      in
+      ranges.(cell.Netlist.id) <- iv)
+    n.Netlist.cells;
+  ranges
+
+let required_width iv =
+  (* two's complement: need hi <= 2^(w-1) - 1 and lo >= -2^(w-1) *)
+  let rec search w =
+    let top = Z.sub (Z.pow2 (w - 1)) Z.one in
+    let bottom = Z.neg (Z.pow2 (w - 1)) in
+    if Z.compare iv.hi top <= 0 && Z.compare iv.lo bottom >= 0 then w
+    else search (w + 1)
+  in
+  search 1
+
+let max_required_width ?input_range n =
+  let ranges = analyze ?input_range n in
+  Array.fold_left (fun acc iv -> Stdlib.max acc (required_width iv)) 1 ranges
+
+let growth ?input_range n =
+  Stdlib.max 0 (max_required_width ?input_range n - n.Netlist.width)

@@ -1,0 +1,30 @@
+(** Value-range (interval) analysis of a netlist over the integers.
+
+    Treating the inputs as unsigned [width]-bit values (or custom
+    intervals), computes the exact reachable interval of every cell output
+    {e before} wrap-around, and from it the bit-width each intermediate
+    wire would need to avoid overflow.  This answers the practical RTL
+    question the paper's fixed-width model raises: how much precision do
+    the intermediate building blocks of a decomposition need? *)
+
+module Z := Polysynth_zint.Zint
+
+type interval = { lo : Z.t; hi : Z.t }
+
+val analyze :
+  ?input_range:(string -> interval) -> Netlist.t -> interval array
+(** Interval of every cell, indexed by cell id.  The default input range
+    is unsigned full-scale: [[0, 2^width - 1]]. *)
+
+val required_width : interval -> int
+(** Bits of a two's-complement representation holding every value of the
+    interval (at least 1). *)
+
+val max_required_width :
+  ?input_range:(string -> interval) -> Netlist.t -> int
+(** The widest intermediate the decomposition produces. *)
+
+val growth :
+  ?input_range:(string -> interval) -> Netlist.t -> int
+(** [max_required_width] minus the nominal datapath width (0 when nothing
+    outgrows the datapath). *)

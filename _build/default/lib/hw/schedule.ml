@@ -1,0 +1,190 @@
+type resources = { multipliers : int; adders : int }
+
+let unlimited = { multipliers = max_int; adders = max_int }
+
+type latency_model = { mult_cycles : int; add_cycles : int }
+
+let default_latency = { mult_cycles = 2; add_cycles = 1 }
+
+type schedule = {
+  start_step : int array;
+  latency : int;
+  steps_used : int;
+}
+
+type unit_class = Free | Mult_unit | Add_unit
+
+let class_of op =
+  match (op : Netlist.op) with
+  | Netlist.Input _ | Netlist.Constant _ | Netlist.Negate | Netlist.Shl _ ->
+    Free
+  | Netlist.Mult2 -> Mult_unit
+  | Netlist.Add2 | Netlist.Sub2 | Netlist.Cmult _ -> Add_unit
+
+let duration lm op =
+  match class_of op with
+  | Free -> 0
+  | Mult_unit -> lm.mult_cycles
+  | Add_unit -> lm.add_cycles
+
+let asap ?(latency_model = default_latency) (n : Netlist.t) =
+  let start = Array.make (Array.length n.Netlist.cells) 0 in
+  Array.iter
+    (fun cell ->
+      let ready =
+        List.fold_left
+          (fun acc i ->
+            let fin =
+              start.(i) + duration latency_model (n.Netlist.cells.(i)).Netlist.op
+            in
+            Stdlib.max acc fin)
+          0 cell.Netlist.fanin
+      in
+      start.(cell.Netlist.id) <- ready)
+    n.Netlist.cells;
+  start
+
+let finish_time lm (n : Netlist.t) start =
+  Array.fold_left
+    (fun acc cell ->
+      Stdlib.max acc (start.(cell.Netlist.id) + duration lm cell.Netlist.op))
+    0 n.Netlist.cells
+
+let critical_path_latency ?(latency_model = default_latency) n =
+  finish_time latency_model n (asap ~latency_model n)
+
+(* ALAP start times for priority (slack) computation *)
+let alap lm (n : Netlist.t) deadline =
+  let cells = n.Netlist.cells in
+  let late = Array.make (Array.length cells) deadline in
+  (* initialize: every cell may finish by the deadline *)
+  Array.iteri
+    (fun i cell -> late.(i) <- deadline - duration lm cell.Netlist.op)
+    cells;
+  (* walk in reverse topological order, tightening producers *)
+  for i = Array.length cells - 1 downto 0 do
+    let cell = cells.(i) in
+    List.iter
+      (fun src ->
+        let bound = late.(cell.Netlist.id) - duration lm cells.(src).Netlist.op in
+        if bound < late.(src) then late.(src) <- bound)
+      cell.Netlist.fanin
+  done;
+  late
+
+let list_schedule ?(latency_model = default_latency) resources (n : Netlist.t) =
+  if resources.multipliers < 1 || resources.adders < 1 then
+    invalid_arg "Schedule.list_schedule: need at least one unit per class";
+  let lm = latency_model in
+  let cells = n.Netlist.cells in
+  let num = Array.length cells in
+  let deadline = critical_path_latency ~latency_model n in
+  let late = alap lm n deadline in
+  let start = Array.make num (-1) in
+  let finished = Array.make num (-1) in
+  (* inputs/constants/negations are free: schedule them as soon as their
+     fanin is done (negation is absorbed into the consuming adder) *)
+  let unscheduled = ref [] in
+  Array.iter
+    (fun cell ->
+      if class_of cell.Netlist.op = Free && cell.Netlist.fanin = [] then begin
+        start.(cell.Netlist.id) <- 0;
+        finished.(cell.Netlist.id) <- 0
+      end
+      else unscheduled := cell :: !unscheduled)
+    cells;
+  let unscheduled = ref (List.rev !unscheduled) in
+  let step = ref 0 in
+  let busy_until_mult = ref [] and busy_until_add = ref [] in
+  (* busy_until_* holds the finish step of each occupied unit *)
+  let available busy limit t =
+    let in_use = List.length (List.filter (fun f -> f > t) busy) in
+    in_use < limit
+  in
+  while !unscheduled <> [] do
+    let t = !step in
+    (* cells whose operands are finished by t *)
+    let ready, rest =
+      List.partition
+        (fun cell ->
+          List.for_all
+            (fun src -> finished.(src) >= 0 && finished.(src) <= t)
+            cell.Netlist.fanin)
+        !unscheduled
+    in
+    let ready =
+      List.sort
+        (fun a b ->
+          let c = Stdlib.compare late.(a.Netlist.id) late.(b.Netlist.id) in
+          if c <> 0 then c else Stdlib.compare a.Netlist.id b.Netlist.id)
+        ready
+    in
+    let leftover =
+      List.filter
+        (fun cell ->
+          let id = cell.Netlist.id in
+          match class_of cell.Netlist.op with
+          | Free ->
+            start.(id) <- t;
+            finished.(id) <- t;
+            false
+          | Mult_unit ->
+            if available !busy_until_mult resources.multipliers t then begin
+              start.(id) <- t;
+              finished.(id) <- t + lm.mult_cycles;
+              busy_until_mult := (t + lm.mult_cycles) :: !busy_until_mult;
+              false
+            end
+            else true
+          | Add_unit ->
+            if available !busy_until_add resources.adders t then begin
+              start.(id) <- t;
+              finished.(id) <- t + lm.add_cycles;
+              busy_until_add := (t + lm.add_cycles) :: !busy_until_add;
+              false
+            end
+            else true)
+        ready
+    in
+    unscheduled := leftover @ rest;
+    incr step;
+    if !step > 4 * (num + 1) * (lm.mult_cycles + lm.add_cycles) then
+      failwith "Schedule.list_schedule: no progress"
+  done;
+  let latency = finish_time lm n start in
+  { start_step = start; latency; steps_used = latency }
+
+let is_valid ?(latency_model = default_latency) resources (n : Netlist.t) s =
+  let lm = latency_model in
+  let cells = n.Netlist.cells in
+  let deps_ok =
+    Array.for_all
+      (fun cell ->
+        List.for_all
+          (fun src ->
+            s.start_step.(src) + duration lm cells.(src).Netlist.op
+            <= s.start_step.(cell.Netlist.id))
+          cell.Netlist.fanin)
+      cells
+  in
+  let usage_ok =
+    let ok = ref true in
+    for t = 0 to s.latency do
+      let used cls =
+        Array.fold_left
+          (fun acc cell ->
+            let d = duration lm cell.Netlist.op in
+            if
+              class_of cell.Netlist.op = cls
+              && s.start_step.(cell.Netlist.id) <= t
+              && t < s.start_step.(cell.Netlist.id) + d
+            then acc + 1
+            else acc)
+          0 cells
+      in
+      if used Mult_unit > resources.multipliers then ok := false;
+      if used Add_unit > resources.adders then ok := false
+    done;
+    !ok
+  in
+  deps_ok && usage_ok

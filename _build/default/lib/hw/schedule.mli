@@ -1,0 +1,45 @@
+(** Resource-constrained operation scheduling.
+
+    After a decomposition is chosen, high-level synthesis maps its operator
+    DAG onto a limited number of functional units over clock steps.  This
+    module provides ASAP/ALAP analyses and a priority list scheduler
+    (least-slack first), which exposes the area/latency trade-off of a
+    decomposition: heavily shared building blocks serialize and need more
+    steps on narrow resource budgets. *)
+
+type resources = {
+  multipliers : int;  (** general multipliers available per step *)
+  adders : int;  (** adder/subtractor/constant-multiplier units per step *)
+}
+
+val unlimited : resources
+
+type latency_model = {
+  mult_cycles : int;  (** >= 1 *)
+  add_cycles : int;  (** >= 1; used for adds, subs and constant mults *)
+}
+
+val default_latency : latency_model
+(** Two-cycle multipliers, single-cycle adders. *)
+
+type schedule = {
+  start_step : int array;  (** indexed by cell id; inputs/constants at 0 *)
+  latency : int;  (** first step at which every output is available *)
+  steps_used : int;
+}
+
+val asap : ?latency_model:latency_model -> Netlist.t -> int array
+(** Earliest start step of every cell. *)
+
+val critical_path_latency : ?latency_model:latency_model -> Netlist.t -> int
+(** Latency with unlimited resources. *)
+
+val list_schedule :
+  ?latency_model:latency_model -> resources -> Netlist.t -> schedule
+(** Priority list scheduling; ties broken deterministically by cell id.
+    @raise Invalid_argument when a resource class has fewer than one
+    unit. *)
+
+val is_valid : ?latency_model:latency_model -> resources -> Netlist.t -> schedule -> bool
+(** Checker used by the tests: dependences respected, per-step resource
+    usage within bounds. *)

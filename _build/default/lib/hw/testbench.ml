@@ -1,0 +1,71 @@
+module Z = Polysynth_zint.Zint
+
+type rng = { mutable state : int }
+
+let make_rng seed = { state = (seed * 2654435761) lor 1 }
+
+let next rng bound =
+  let s = rng.state in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  rng.state <- s land max_int;
+  if bound <= 0 then 0 else rng.state mod bound
+
+let emit ?(module_name = "polysynth") ?(vectors = 16) ?(seed = 1)
+    (n : Netlist.t) =
+  let w = n.Netlist.width in
+  let rng = make_rng seed in
+  let inputs = List.map Verilog.legalize (Netlist.inputs n) in
+  let raw_inputs = Netlist.inputs n in
+  let outputs = List.map (fun (name, _) -> Verilog.legalize name) n.Netlist.outputs in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "`timescale 1ns/1ps\n";
+  add "module %s_tb;\n" (Verilog.legalize module_name);
+  List.iter (fun v -> add "  reg  signed [%d:0] %s;\n" (w - 1) v) inputs;
+  List.iter (fun o -> add "  wire signed [%d:0] %s;\n" (w - 1) o) outputs;
+  add "  integer errors = 0;\n";
+  add "  %s dut (%s);\n"
+    (Verilog.legalize module_name)
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf ".%s(%s)" p p) (inputs @ outputs)));
+  add "  initial begin\n";
+  for _ = 1 to vectors do
+    let assignment =
+      List.map
+        (fun v ->
+          let hi = next rng (1 lsl 30) and lo = next rng (1 lsl 30) in
+          let value =
+            Z.erem_pow2
+              (Z.add (Z.mul (Z.of_int hi) (Z.pow2 30)) (Z.of_int lo))
+              w
+          in
+          (v, value))
+        raw_inputs
+    in
+    List.iter
+      (fun (v, value) ->
+        add "    %s = %d'd%s;\n" (Verilog.legalize v) w (Z.to_string value))
+      assignment;
+    add "    #1;\n";
+    let env v =
+      match List.assoc_opt v assignment with Some x -> x | None -> Z.zero
+    in
+    let expected = Netlist.eval n env in
+    List.iter
+      (fun (name, _) ->
+        let value = List.assoc name expected in
+        add
+          "    if (%s !== %d'd%s) begin errors = errors + 1; $display(\"FAIL \
+           %s: got %%0d expected %s\", %s); end\n"
+          (Verilog.legalize name) w (Z.to_string value) (Verilog.legalize name)
+          (Z.to_string value) (Verilog.legalize name))
+      n.Netlist.outputs
+  done;
+  add "    if (errors == 0) $display(\"PASS: all %d vectors\");\n" vectors;
+  add "    else $display(\"FAIL: %%0d mismatches\", errors);\n";
+  add "    $finish;\n";
+  add "  end\n";
+  add "endmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/linalg/qmatrix.ml: Array Format List Polysynth_rat

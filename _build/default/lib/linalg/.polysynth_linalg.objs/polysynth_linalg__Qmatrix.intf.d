@@ -1,0 +1,1 @@
+lib/linalg/qmatrix.mli: Format Polysynth_rat

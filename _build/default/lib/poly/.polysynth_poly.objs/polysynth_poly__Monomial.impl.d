@@ -1,0 +1,1 @@
+lib/poly/monomial.ml: Format Hashtbl List Polysynth_zint Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/poly/monomial.mli: Format Polysynth_zint

@@ -1,0 +1,1 @@
+lib/poly/parse.ml: List Poly Polysynth_zint Printf String

@@ -1,0 +1,1 @@
+lib/poly/parse.mli: Poly

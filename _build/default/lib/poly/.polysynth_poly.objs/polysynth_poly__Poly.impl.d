@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Buffer Format Hashtbl List Map Monomial Polysynth_zint Stdlib String

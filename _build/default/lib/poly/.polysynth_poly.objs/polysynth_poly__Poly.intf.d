@@ -1,0 +1,1 @@
+lib/poly/poly.mli: Format Monomial Polysynth_zint

@@ -1,0 +1,136 @@
+module Z = Polysynth_zint.Zint
+
+(* Sorted association list variable -> exponent, exponents strictly
+   positive.  The invariant is maintained by every smart constructor. *)
+type t = (string * int) list
+
+let one = []
+
+let of_list bindings =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) bindings in
+  let rec combine = function
+    | [] -> []
+    | (v, e) :: rest ->
+      if e < 0 then invalid_arg "Monomial.of_list: negative exponent";
+      (match combine rest with
+       | (v', e') :: tail when String.equal v v' -> (v, e + e') :: tail
+       | tail -> if e = 0 then tail else (v, e) :: tail)
+  in
+  combine sorted
+
+let var ?(exp = 1) name =
+  if exp <= 0 then invalid_arg "Monomial.var: non-positive exponent";
+  if String.length name = 0 then invalid_arg "Monomial.var: empty name";
+  [ (name, exp) ]
+
+let to_list m = m
+
+let is_one m = m = []
+
+let degree m = List.fold_left (fun acc (_, e) -> acc + e) 0 m
+
+let degree_of v m =
+  match List.assoc_opt v m with Some e -> e | None -> 0
+
+let vars m = List.map fst m
+
+let mentions v m = List.mem_assoc v m
+
+let equal (a : t) (b : t) = a = b
+
+(* Graded lexicographic order: total degree first, ties broken
+   lexicographically with alphabetically-earlier variables more significant.
+   This is a genuine monomial order (compatible with multiplication, with 1
+   minimal), which the polynomial division algorithms rely on. *)
+let compare a b =
+  let c = Stdlib.compare (degree a) (degree b) in
+  if c <> 0 then c
+  else
+    let rec lex a b =
+      match a, b with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | (va, ea) :: ra, (vb, eb) :: rb ->
+        let c = String.compare va vb in
+        if c < 0 then 1
+        else if c > 0 then -1
+        else if ea <> eb then Stdlib.compare ea eb
+        else lex ra rb
+    in
+    lex a b
+
+let hash m =
+  List.fold_left
+    (fun acc (v, e) -> (acc * 131 + Hashtbl.hash v + e) land max_int)
+    17 m
+
+let rec mul a b =
+  match a, b with
+  | [], m | m, [] -> m
+  | (va, ea) :: ra, (vb, eb) :: rb ->
+    let c = String.compare va vb in
+    if c = 0 then (va, ea + eb) :: mul ra rb
+    else if c < 0 then (va, ea) :: mul ra b
+    else (vb, eb) :: mul a rb
+
+let rec divides d m =
+  match d, m with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | (vd, ed) :: rd, (vm, em) :: rm ->
+    let c = String.compare vd vm in
+    if c < 0 then false
+    else if c > 0 then divides d rm
+    else ed <= em && divides rd rm
+
+let div m d =
+  if not (divides d m) then None
+  else begin
+    let rec go m d =
+      match m, d with
+      | m, [] -> m
+      | [], _ :: _ -> assert false
+      | (vm, em) :: rm, (vd, ed) :: rd ->
+        let c = String.compare vm vd in
+        if c < 0 then (vm, em) :: go rm d
+        else begin
+          assert (c = 0);
+          if em = ed then go rm rd else (vm, em - ed) :: go rm rd
+        end
+    in
+    Some (go m d)
+  end
+
+let rec gcd a b =
+  match a, b with
+  | [], _ | _, [] -> []
+  | (va, ea) :: ra, (vb, eb) :: rb ->
+    let c = String.compare va vb in
+    if c = 0 then (va, Stdlib.min ea eb) :: gcd ra rb
+    else if c < 0 then gcd ra b
+    else gcd a rb
+
+let rec lcm a b =
+  match a, b with
+  | [], m | m, [] -> m
+  | (va, ea) :: ra, (vb, eb) :: rb ->
+    let c = String.compare va vb in
+    if c = 0 then (va, Stdlib.max ea eb) :: lcm ra rb
+    else if c < 0 then (va, ea) :: lcm ra b
+    else (vb, eb) :: lcm a rb
+
+let remove_var v m = List.filter (fun (v', _) -> not (String.equal v v')) m
+
+let eval env m =
+  List.fold_left (fun acc (v, e) -> Z.mul acc (Z.pow (env v) e)) Z.one m
+
+let to_string m =
+  if is_one m then "1"
+  else
+    String.concat "*"
+      (List.map
+         (fun (v, e) -> if e = 1 then v else Printf.sprintf "%s^%d" v e)
+         m)
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

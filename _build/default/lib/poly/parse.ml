@@ -1,0 +1,151 @@
+module Z = Polysynth_zint.Zint
+
+exception Parse_error of string
+
+type token =
+  | Tnum of Z.t
+  | Tident of string
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tcaret
+  | Tlparen
+  | Trparen
+  | Tend
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := (t, !i) :: !tokens in
+  while !i < n do
+    (match s.[!i] with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | '+' -> push Tplus; incr i
+     | '-' -> push Tminus; incr i
+     | '*' -> push Tstar; incr i
+     | '^' -> push Tcaret; incr i
+     | '(' -> push Tlparen; incr i
+     | ')' -> push Trparen; incr i
+     | '0' .. '9' ->
+       let start = !i in
+       while !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false) do
+         incr i
+       done;
+       tokens := (Tnum (Z.of_string (String.sub s start (!i - start))), start) :: !tokens
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+       let start = !i in
+       while
+         !i < n
+         && (match s.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+       do
+         incr i
+       done;
+       tokens := (Tident (String.sub s start (!i - start)), start) :: !tokens
+     | c -> fail !i (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev ((Tend, n) :: !tokens)
+
+type state = { mutable stream : (token * int) list }
+
+let peek st =
+  match st.stream with
+  | [] -> (Tend, 0)
+  | tok :: _ -> tok
+
+let advance st =
+  match st.stream with
+  | [] -> ()
+  | _ :: rest -> st.stream <- rest
+
+let expect st tok msg =
+  let t, pos = peek st in
+  if t = tok then advance st else fail pos msg
+
+let parse_nat st =
+  match peek st with
+  | Tnum z, pos ->
+    advance st;
+    (match Z.to_int_opt z with
+     | Some n -> n
+     | None -> fail pos "exponent too large")
+  | _, pos -> fail pos "expected a number"
+
+let rec parse_expr st =
+  let first =
+    match peek st with
+    | Tminus, _ ->
+      advance st;
+      Poly.neg (parse_term st)
+    | _ -> parse_term st
+  in
+  let rec loop acc =
+    match peek st with
+    | Tplus, _ ->
+      advance st;
+      loop (Poly.add acc (parse_term st))
+    | Tminus, _ ->
+      advance st;
+      loop (Poly.sub acc (parse_term st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_term st =
+  let first = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | Tstar, _ ->
+      advance st;
+      loop (Poly.mul acc (parse_factor st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_factor st =
+  let base = parse_atom st in
+  match peek st with
+  | Tcaret, _ ->
+    advance st;
+    Poly.pow base (parse_nat st)
+  | _ -> base
+
+and parse_atom st =
+  match peek st with
+  | Tnum z, _ ->
+    advance st;
+    Poly.const z
+  | Tident v, _ ->
+    advance st;
+    Poly.var v
+  | Tlparen, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen "expected ')'";
+    e
+  | (Tplus | Tminus | Tstar | Tcaret | Trparen | Tend), pos ->
+    fail pos "expected a number, variable or '('"
+
+let poly s =
+  let st = { stream = tokenize s } in
+  let e = parse_expr st in
+  (match peek st with
+   | Tend, _ -> ()
+   | _, pos -> fail pos "trailing input");
+  e
+
+let strip_comments line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let system s =
+  String.split_on_char '\n' s
+  |> List.map strip_comments
+  |> List.concat_map (String.split_on_char ';')
+  |> List.filter_map (fun chunk ->
+         if String.trim chunk = "" then None else Some (poly chunk))

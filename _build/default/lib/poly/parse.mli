@@ -1,0 +1,23 @@
+(** Text syntax for polynomials.
+
+    Grammar (whitespace-insensitive):
+    {v
+      expr   ::= ['-'] term (('+' | '-') term)*
+      term   ::= factor ('*' factor)*
+      factor ::= atom ['^' nat]
+      atom   ::= nat | ident | '(' expr ')'
+    v}
+    Identifiers match [[A-Za-z_][A-Za-z0-9_]*]; numbers are unsigned decimal
+    naturals (sign comes from the grammar).  Example:
+    ["4*x^2*y^2 - 4*x*y + 5*(x + 3*y)^2"]. *)
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val poly : string -> Poly.t
+(** @raise Parse_error on malformed input. *)
+
+val system : string -> Poly.t list
+(** Parses a list of polynomials separated by [';'] or newlines; blank
+    entries and [#]-to-end-of-line comments are ignored.
+    @raise Parse_error on malformed input. *)

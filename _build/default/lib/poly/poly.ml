@@ -1,0 +1,266 @@
+module Z = Polysynth_zint.Zint
+
+module Mmap = Map.Make (Monomial)
+
+(* Terms in descending graded-lex order, all coefficients non-zero. *)
+type t = (Z.t * Monomial.t) list
+
+let zero = []
+
+let of_map map =
+  Mmap.fold
+    (fun m c acc -> if Z.is_zero c then acc else (c, m) :: acc)
+    map []
+(* Mmap.fold visits keys in increasing order, so prepending yields the
+   descending order we maintain. *)
+
+let term c m = if Z.is_zero c then zero else [ (c, m) ]
+
+let const c = term c Monomial.one
+let of_int n = const (Z.of_int n)
+let one = of_int 1
+let var ?exp name = term Z.one (Monomial.var ?exp name)
+let monomial m = term Z.one m
+
+let of_terms list =
+  let map =
+    List.fold_left
+      (fun acc (c, m) ->
+        let c' = match Mmap.find_opt m acc with
+          | Some c0 -> Z.add c0 c
+          | None -> c
+        in
+        Mmap.add m c' acc)
+      Mmap.empty list
+  in
+  of_map map
+
+let terms p = p
+let num_terms p = List.length p
+let is_zero p = p = []
+
+let is_const = function
+  | [] -> true
+  | [ (_, m) ] -> Monomial.is_one m
+  | _ :: _ :: _ -> false
+
+let to_const_opt = function
+  | [] -> Some Z.zero
+  | [ (c, m) ] when Monomial.is_one m -> Some c
+  | _ -> None
+
+let coeff p m =
+  let rec go = function
+    | [] -> Z.zero
+    | (c, m') :: rest ->
+      let cmp = Monomial.compare m' m in
+      if cmp = 0 then c else if cmp < 0 then Z.zero else go rest
+  in
+  go p
+
+let constant_term p = coeff p Monomial.one
+
+let leading = function
+  | [] -> invalid_arg "Poly.leading: zero polynomial"
+  | (c, m) :: _ -> (c, m)
+
+let degree = function
+  | [] -> -1
+  | (_, m) :: _ -> Monomial.degree m
+
+let degree_in v p =
+  List.fold_left (fun acc (_, m) -> Stdlib.max acc (Monomial.degree_of v m)) 0 p
+
+let vars p =
+  List.sort_uniq String.compare
+    (List.concat_map (fun (_, m) -> Monomial.vars m) p)
+
+let mentions v p = List.exists (fun (_, m) -> Monomial.mentions v m) p
+
+let equal (a : t) (b : t) =
+  try List.for_all2 (fun (c, m) (c', m') -> Z.equal c c' && Monomial.equal m m') a b
+  with Invalid_argument _ -> false
+
+let compare a b =
+  let rec go a b =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (ca, ma) :: ra, (cb, mb) :: rb ->
+      let c = Monomial.compare ma mb in
+      if c <> 0 then c
+      else
+        let c = Z.compare ca cb in
+        if c <> 0 then c else go ra rb
+  in
+  go a b
+
+let hash p =
+  List.fold_left
+    (fun acc (c, m) -> (acc * 8191 + Z.hash c + (Monomial.hash m * 31)) land max_int)
+    3 p
+
+let neg p = List.map (fun (c, m) -> (Z.neg c, m)) p
+
+let rec add a b =
+  match a, b with
+  | [], p | p, [] -> p
+  | (ca, ma) :: ra, (cb, mb) :: rb ->
+    let cmp = Monomial.compare ma mb in
+    if cmp > 0 then (ca, ma) :: add ra b
+    else if cmp < 0 then (cb, mb) :: add a rb
+    else
+      let c = Z.add ca cb in
+      if Z.is_zero c then add ra rb else (c, ma) :: add ra rb
+
+let sub a b = add a (neg b)
+
+let mul_term c m p =
+  if Z.is_zero c then zero
+  else List.map (fun (c', m') -> (Z.mul c c', Monomial.mul m m')) p
+
+let mul_scalar c p = mul_term c Monomial.one p
+
+let mul a b =
+  match a, b with
+  | [], _ | _, [] -> zero
+  | _ ->
+    List.fold_left (fun acc (c, m) -> add acc (mul_term c m b)) zero a
+
+let pow p e =
+  if e < 0 then invalid_arg "Poly.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc base) (mul base base) (e lsr 1)
+    else go acc (mul base base) (e lsr 1)
+  in
+  go one p e
+
+let add_list ps = List.fold_left add zero ps
+
+let div_rem a b =
+  if is_zero b then raise Division_by_zero;
+  let cb, mb = leading b in
+  let rec go q r =
+    match r with
+    | [] -> (q, r)
+    | (cr, mr) :: _ ->
+      (match Monomial.div mr mb with
+       | Some mq when Z.divides cb cr ->
+         let cq = Z.divexact cr cb in
+         let t = term cq mq in
+         go (add q t) (sub r (mul_term cq mq b))
+       | Some _ | None ->
+         (* move the irreducible leading term into the remainder and keep
+            dividing what is left *)
+         let qrest, rrest = go q (List.tl r) in
+         (qrest, (cr, mr) :: rrest))
+  in
+  go zero a
+
+let div_exact a b =
+  if is_zero b then None
+  else
+    let q, r = div_rem a b in
+    if is_zero r then Some q else None
+
+let divides b a = match div_exact a b with Some _ -> true | None -> false
+
+let content p =
+  List.fold_left (fun acc (c, _) -> Z.gcd acc c) Z.zero p
+
+let div_scalar_exact p c =
+  if Z.is_zero c then invalid_arg "Poly.div_scalar_exact: zero divisor";
+  List.map
+    (fun (c', m) ->
+      if Z.divides c c' then (Z.divexact c' c, m)
+      else invalid_arg "Poly.div_scalar_exact: inexact")
+    p
+
+let primitive_part p =
+  match p with
+  | [] -> zero
+  | (lc, _) :: _ ->
+    let c = content p in
+    let c = if Z.is_negative lc then Z.neg c else c in
+    div_scalar_exact p c
+
+let derivative v p =
+  List.fold_left
+    (fun acc (c, m) ->
+      let e = Monomial.degree_of v m in
+      if e = 0 then acc
+      else
+        let m' =
+          if e = 1 then Monomial.remove_var v m
+          else Monomial.mul (Monomial.remove_var v m) (Monomial.var ~exp:(e - 1) v)
+        in
+        add acc (term (Z.mul_int c e) m'))
+    zero p
+
+let eval env p =
+  List.fold_left
+    (fun acc (c, m) -> Z.add acc (Z.mul c (Monomial.eval env m)))
+    Z.zero p
+
+let subst x q p =
+  List.fold_left
+    (fun acc (c, m) ->
+      let e = Monomial.degree_of x m in
+      if e = 0 then add acc (term c m)
+      else
+        let rest = Monomial.remove_var x m in
+        add acc (mul_term c rest (pow q e)))
+    zero p
+
+let eval_partial bindings p =
+  List.fold_left (fun p (x, c) -> subst x (const c) p) p bindings
+
+let shift offsets p =
+  List.fold_left
+    (fun p (x, c) -> subst x (add (var x) (const c)) p)
+    p offsets
+
+let coeffs_in x p =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, m) ->
+      let e = Monomial.degree_of x m in
+      let rest = Monomial.remove_var x m in
+      let prev = match Hashtbl.find_opt tbl e with Some p -> p | None -> zero in
+      Hashtbl.replace tbl e (add prev (term c rest)))
+    p;
+  Hashtbl.fold (fun e c acc -> if is_zero c then acc else (e, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let of_coeffs_in x coeffs =
+  List.fold_left
+    (fun acc (e, c) ->
+      let xe = if e = 0 then one else var ~exp:e x in
+      add acc (mul c xe))
+    zero coeffs
+
+let to_string p =
+  if is_zero p then "0"
+  else begin
+    let buf = Buffer.create 64 in
+    List.iteri
+      (fun i (c, m) ->
+        let neg = Z.is_negative c in
+        let cabs = Z.abs c in
+        if i = 0 then (if neg then Buffer.add_char buf '-')
+        else Buffer.add_string buf (if neg then " - " else " + ");
+        if Monomial.is_one m then Buffer.add_string buf (Z.to_string cabs)
+        else begin
+          if not (Z.is_one cabs) then begin
+            Buffer.add_string buf (Z.to_string cabs);
+            Buffer.add_char buf '*'
+          end;
+          Buffer.add_string buf (Monomial.to_string m)
+        end)
+      p;
+    Buffer.contents buf
+  end
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,1 @@
+lib/rat/qint.ml: Format Polysynth_zint

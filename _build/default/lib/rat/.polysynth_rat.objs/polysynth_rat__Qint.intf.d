@@ -1,0 +1,1 @@
+lib/rat/qint.mli: Format Polysynth_zint

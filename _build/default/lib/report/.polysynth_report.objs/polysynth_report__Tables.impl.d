@@ -1,0 +1,1 @@
+lib/report/tables.ml: Array Buffer List Polysynth_core Polysynth_cse Polysynth_expr Polysynth_finite_ring Polysynth_hw Polysynth_poly Polysynth_workloads Printf String

@@ -1,0 +1,1 @@
+lib/ted/ted.ml: Array Hashtbl List Option Polysynth_expr Polysynth_poly Polysynth_zint String

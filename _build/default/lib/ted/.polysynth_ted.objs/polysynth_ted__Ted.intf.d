@@ -1,0 +1,1 @@
+lib/ted/ted.mli: Format Polysynth_expr Polysynth_poly Polysynth_zint

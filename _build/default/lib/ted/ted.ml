@@ -1,0 +1,180 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+module Expr = Polysynth_expr.Expr
+
+type t = int
+
+type node =
+  | Leaf of Z.t
+  | Node of { var : string; const : t; linear : t }
+      (* value = const + var * linear, with linear <> leaf 0 *)
+
+type manager = {
+  mutable nodes : node array;
+  mutable len : int;
+  memo : (node, t) Hashtbl.t;
+  add_memo : (t * t, t) Hashtbl.t;
+  mul_memo : (t * t, t) Hashtbl.t;
+  mutable order : string list;  (* decomposition order, most significant first *)
+}
+
+let create ?(order = []) () =
+  {
+    nodes = Array.make 64 (Leaf Z.zero);
+    len = 0;
+    memo = Hashtbl.create 64;
+    add_memo = Hashtbl.create 64;
+    mul_memo = Hashtbl.create 64;
+    order;
+  }
+
+let node_of m i = m.nodes.(i)
+
+let intern m n =
+  match Hashtbl.find_opt m.memo n with
+  | Some id -> id
+  | None ->
+    if m.len = Array.length m.nodes then begin
+      let bigger = Array.make (2 * m.len) (Leaf Z.zero) in
+      Array.blit m.nodes 0 bigger 0 m.len;
+      m.nodes <- bigger
+    end;
+    let id = m.len in
+    m.nodes.(id) <- n;
+    m.len <- m.len + 1;
+    Hashtbl.add m.memo n id;
+    id
+
+let leaf m c = intern m (Leaf c)
+let zero m = leaf m Z.zero
+let one m = leaf m Z.one
+
+let mk_node m var const linear =
+  if node_of m linear = Leaf Z.zero then const
+  else intern m (Node { var; const; linear })
+
+(* position of a variable in the decomposition order; unseen variables are
+   appended (deterministically, at first use) *)
+let var_rank m v =
+  let rec find i = function
+    | [] ->
+      m.order <- m.order @ [ v ];
+      i
+    | v' :: rest -> if String.equal v v' then i else find (i + 1) rest
+  in
+  find 0 m.order
+
+(* rank of a node's top variable; leaves sort last *)
+let top_rank m i =
+  match node_of m i with
+  | Leaf _ -> max_int
+  | Node { var; _ } -> var_rank m var
+
+let rec add m a b =
+  if a > b then add m b a
+  else
+    match Hashtbl.find_opt m.add_memo (a, b) with
+    | Some r -> r
+    | None ->
+      let r =
+        match node_of m a, node_of m b with
+        | Leaf x, Leaf y -> leaf m (Z.add x y)
+        | Node na, Node nb when String.equal na.var nb.var ->
+          mk_node m na.var (add m na.const nb.const) (add m na.linear nb.linear)
+        | Node na, _ when top_rank m a <= top_rank m b ->
+          mk_node m na.var (add m na.const b) na.linear
+        | _, Node nb -> mk_node m nb.var (add m nb.const a) nb.linear
+        | Node _, Leaf _ -> assert false (* excluded by the rank guard *)
+      in
+      Hashtbl.replace m.add_memo (a, b) r;
+      r
+
+let rec mul m a b =
+  if a > b then mul m b a
+  else
+    match Hashtbl.find_opt m.mul_memo (a, b) with
+    | Some r -> r
+    | None ->
+      let r =
+        match node_of m a, node_of m b with
+        | Leaf x, Leaf y -> leaf m (Z.mul x y)
+        | Leaf x, _ when Z.is_zero x -> a
+        | _, Leaf y when Z.is_zero y -> b
+        | Node na, Node nb when String.equal na.var nb.var ->
+          (* (c_a + v l_a)(c_b + v l_b)
+             = c_a c_b + v (c_a l_b + l_a c_b + v l_a l_b) *)
+          let cc = mul m na.const nb.const in
+          let cross = add m (mul m na.const nb.linear) (mul m na.linear nb.const) in
+          let high = mk_node m na.var (zero m) (mul m na.linear nb.linear) in
+          mk_node m na.var cc (add m cross high)
+        | Node na, _ when top_rank m a <= top_rank m b ->
+          mk_node m na.var (mul m na.const b) (mul m na.linear b)
+        | _, Node nb ->
+          mk_node m nb.var (mul m nb.const a) (mul m nb.linear a)
+        | Node _, Leaf _ -> assert false (* excluded by the rank guard *)
+      in
+      Hashtbl.replace m.mul_memo (a, b) r;
+      r
+
+let neg m a = mul m (leaf m Z.minus_one) a
+
+let of_poly m p =
+  (* decompose along the manager's order, registering unseen variables
+     first so ranks are stable *)
+  List.iter (fun v -> ignore (var_rank m v)) (Poly.vars p);
+  let rec build p =
+    match Poly.to_const_opt p with
+    | Some c -> leaf m c
+    | None ->
+      (* the present variable with the smallest rank *)
+      let v =
+        List.fold_left
+          (fun best v ->
+            match best with
+            | None -> Some v
+            | Some b -> if var_rank m v < var_rank m b then Some v else best)
+          None (Poly.vars p)
+        |> Option.get
+      in
+      let coeffs = Poly.coeffs_in v p in
+      let c0 =
+        match List.assoc_opt 0 coeffs with Some c -> c | None -> Poly.zero
+      in
+      let rest =
+        Poly.of_coeffs_in v
+          (List.filter_map
+             (fun (k, c) -> if k = 0 then None else Some (k - 1, c))
+             coeffs)
+      in
+      mk_node m v (build c0) (build rest)
+  in
+  build p
+
+let rec to_poly m i =
+  match node_of m i with
+  | Leaf c -> Poly.const c
+  | Node { var; const; linear } ->
+    Poly.add (to_poly m const) (Poly.mul (Poly.var var) (to_poly m linear))
+
+let equal (a : t) (b : t) = a = b
+
+let num_nodes m = m.len
+
+let decompose m root =
+  let memo = Hashtbl.create 64 in
+  let rec go i =
+    match Hashtbl.find_opt memo i with
+    | Some e -> e
+    | None ->
+      let e =
+        match node_of m i with
+        | Leaf c -> Expr.const c
+        | Node { var; const; linear } ->
+          Expr.add [ go const; Expr.mul [ Expr.var var; go linear ] ]
+      in
+      Hashtbl.replace memo i e;
+      e
+  in
+  go root
+
+let pp m fmt i = Poly.pp fmt (to_poly m i)

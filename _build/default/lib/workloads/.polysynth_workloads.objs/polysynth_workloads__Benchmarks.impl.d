@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: List Polysynth_poly Savitzky_golay String

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.mli: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/workloads/examples.ml: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/workloads/examples.mli: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/workloads/extended.ml: Benchmarks List Polysynth_poly Polysynth_zint

@@ -1,0 +1,1 @@
+lib/workloads/extended.mli: Benchmarks Polysynth_poly

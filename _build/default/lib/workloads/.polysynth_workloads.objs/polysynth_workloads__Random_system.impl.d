@@ -1,0 +1,1 @@
+lib/workloads/random_system.ml: List Polysynth_poly Polysynth_zint Printf

@@ -1,0 +1,1 @@
+lib/workloads/random_system.mli: Polysynth_poly

@@ -1,0 +1,1 @@
+lib/workloads/savitzky_golay.ml: Fun List Polysynth_linalg Polysynth_poly Polysynth_rat Polysynth_zint

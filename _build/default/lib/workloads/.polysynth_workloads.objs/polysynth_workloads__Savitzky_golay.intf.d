@@ -1,0 +1,1 @@
+lib/workloads/savitzky_golay.mli: Polysynth_poly

@@ -1,0 +1,31 @@
+let p = Polysynth_poly.Parse.poly
+
+let table_14_1 =
+  [
+    p "x^2 + 6*x*y + 9*y^2";
+    p "4*x*y^2 + 12*y^3";
+    p "2*x^2*z + 6*x*y*z";
+  ]
+
+let table_14_2 =
+  [
+    p "13*x^2 + 26*x*y + 13*y^2 + 7*x - 7*y + 11";
+    p "15*x^2 - 30*x*y + 15*y^2 + 11*x + 11*y + 9";
+    p "5*x^3*y^2 - 5*x^3*y - 15*x^2*y^2 + 15*x^2*y + 10*x*y^2 - 10*x*y + 3*z^2";
+    p "3*x^2*y^2 - 3*x^2*y - 3*x*y^2 + 3*x*y + z + 1";
+  ]
+
+let section_14_3_1_f = p "4*x^2*y^2 - 4*x^2*y - 4*x*y^2 + 4*x*y + 5*z^2*x - 5*z*x"
+
+let section_14_3_1_g = p "7*x^2*z^2 - 7*x^2*z - 7*x*z^2 + 7*z*x + 3*y^2*x - 3*y*x"
+
+let section_14_4_1 = p "8*x + 16*y + 24*z + 15*a + 30*b + 11"
+
+let section_14_4_2 =
+  [
+    p "x^2*y + x*y*z";
+    p "a*b^2*c^3 + b^2*c^2*x";
+    p "a*x*z + x^2*z^2*b";
+  ]
+
+let coefficient_factoring_motivation = p "5*x^2 + 10*y^3 + 15*q*w"

@@ -1,0 +1,32 @@
+(** The worked examples of the paper, verbatim. *)
+
+module Poly := Polysynth_poly.Poly
+
+val table_14_1 : Poly.t list
+(** P1 = x^2+6xy+9y^2, P2 = 4xy^2+12y^3, P3 = 2x^2z+6xyz — direct cost
+    17 MULT / 4 ADD, proposed decomposition 8 MULT / 1 ADD via
+    d1 = x + 3y. *)
+
+val table_14_2 : Poly.t list
+(** The four-polynomial system of Table 14.2 (expanded forms) — initial
+    cost 51 MULT / 21 ADD, final decomposition 14 MULT / 12 ADD via
+    d1 = x+y, d2 = x-y, d3 = x(x-1)y(y-1). *)
+
+val section_14_3_1_f : Poly.t
+(** F = 4x^2y^2 - 4x^2y - 4xy^2 + 4xy + 5z^2x - 5zx
+      = 4 Y2(x) Y2(y) + 5 Y2(z) Y1(x). *)
+
+val section_14_3_1_g : Poly.t
+(** G = 7x^2z^2 - 7x^2z - 7xz^2 + 7zx + 3y^2x - 3yx
+      = 7 Y2(x) Y2(z) + 3 Y2(y) Y1(x). *)
+
+val section_14_4_1 : Poly.t
+(** P1 = 8x + 16y + 24z + 15a + 30b + 11, the CCE walk-through. *)
+
+val section_14_4_2 : Poly.t list
+(** P1 = x^2y + xyz, P2 = ab^2c^3 + b^2c^2x, P3 = axz + x^2z^2b, the cube
+    extraction walk-through. *)
+
+val coefficient_factoring_motivation : Poly.t
+(** P = 5x^2 + 10y^3 + 15pq = 5(x^2 + 2y^3 + 3pq), the decomposition
+    kernel/co-kernel factoring cannot find. *)

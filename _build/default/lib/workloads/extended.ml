@@ -1,0 +1,73 @@
+module Z = Polysynth_zint.Zint
+module Poly = Polysynth_poly.Poly
+
+let p = Polysynth_poly.Parse.poly
+
+let fir_direct ~taps =
+  if taps < 1 then invalid_arg "Extended.fir_direct: taps < 1";
+  (* symmetric triangular coefficients 1, 2, ..., peak, ..., 2, 1 *)
+  let coeff k =
+    let half = (taps + 1) / 2 in
+    1 + if k < half then k else taps - k
+  in
+  Poly.add_list
+    (List.init (taps + 1) (fun k ->
+         Poly.mul_scalar (Z.of_int (coeff k))
+           (if k = 0 then Poly.one else Poly.var ~exp:k "x")))
+
+let chebyshev ~degree =
+  if degree < 0 then invalid_arg "Extended.chebyshev: negative degree";
+  let x = Poly.var "x" in
+  let rec go n t_prev t_cur =
+    if n = degree then t_cur
+    else go (n + 1) t_cur (Poly.sub (Poly.mul_scalar Z.two (Poly.mul x t_cur)) t_prev)
+  in
+  if degree = 0 then Poly.one else go 1 Poly.one x
+
+let lighting () =
+  (* shared attenuation a = x^2 + y^2 + z^2; per-channel gains and linear
+     terms on top, degree 3 through the x*a / y*a / z*a products *)
+  [
+    p "3*x^3 + 3*x*y^2 + 3*x*z^2 + 7*x + 2*y + 5";
+    p "3*y^3 + 3*y*x^2 + 3*y*z^2 + 7*y + 2*z + 5";
+    p "3*z^3 + 3*z*x^2 + 3*z*y^2 + 7*z + 2*x + 5";
+  ]
+
+let biquad_pair () =
+  (* shared resonator r = x^2 - 2xy + y^2 = (x - y)^2 *)
+  [
+    p "9*x^2 - 18*x*y + 9*y^2 + 6*x + 12*y + 4";
+    p "15*x^2 - 30*x*y + 15*y^2 - 10*x + 5*y + 8";
+  ]
+
+let extended_suite () =
+  [
+    {
+      Benchmarks.name = "FIR8";
+      polys = [ fir_direct ~taps:8 ];
+      num_vars = 1;
+      degree = 8;
+      width = 16;
+    };
+    {
+      Benchmarks.name = "Cheb5";
+      polys = [ chebyshev ~degree:5 ];
+      num_vars = 1;
+      degree = 5;
+      width = 16;
+    };
+    {
+      Benchmarks.name = "Lighting";
+      polys = lighting ();
+      num_vars = 3;
+      degree = 3;
+      width = 16;
+    };
+    {
+      Benchmarks.name = "Biquad";
+      polys = biquad_pair ();
+      num_vars = 2;
+      degree = 2;
+      width = 16;
+    };
+  ]

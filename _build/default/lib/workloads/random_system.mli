@@ -1,0 +1,20 @@
+(** Seeded random polynomial systems for property-based testing and
+    stress runs.  Generation is deterministic in the seed (no global
+    state). *)
+
+module Poly := Polysynth_poly.Poly
+
+type config = {
+  num_polys : int;
+  num_vars : int;  (** drawn from ["x0"; "x1"; ...] *)
+  max_terms : int;
+  max_degree : int;
+  max_coeff : int;
+  sharing : bool;
+      (** when set, polynomials are built from a small pool of shared
+          linear blocks (so that there is genuine structure to find) *)
+}
+
+val default_config : config
+
+val generate : seed:int -> config -> Poly.t list

@@ -1,0 +1,78 @@
+module Z = Polysynth_zint.Zint
+module Q = Polysynth_rat.Qint
+module M = Polysynth_linalg.Qmatrix
+module Poly = Polysynth_poly.Poly
+module Monomial = Polysynth_poly.Monomial
+
+let offsets window =
+  if window < 2 then invalid_arg "Savitzky_golay.offsets: window too small";
+  if window land 1 = 1 then
+    let h = window / 2 in
+    List.init window (fun i -> i - h)
+  else
+    (* doubled half-integer offsets keep the arithmetic exact in Z *)
+    List.init window (fun i -> (2 * i) - (window - 1))
+
+(* monomial basis x^i y^j with i + j <= degree, in a fixed order *)
+let basis degree =
+  List.concat_map
+    (fun i -> List.init (degree - i + 1) (fun j -> (i, j)))
+    (List.init (degree + 1) Fun.id)
+
+let qpow base e = Q.of_zint (Z.pow (Z.of_int base) e)
+
+let system ~window ~degree =
+  let off = offsets window in
+  let points =
+    List.concat_map (fun u -> List.map (fun v -> (u, v)) off) off
+  in
+  let b = basis degree in
+  let nb = List.length b in
+  if nb > List.length points then
+    invalid_arg "Savitzky_golay.system: degree too large for window";
+  (* design matrix A: one row per window point, one column per basis
+     monomial evaluated at the point *)
+  let a =
+    M.make (List.length points) nb (fun r c ->
+        let u, v = List.nth points r in
+        let i, j = List.nth b c in
+        Q.mul (qpow u i) (qpow v j))
+  in
+  let ata = M.mul (M.transpose a) a in
+  let ata_inv =
+    match M.inverse ata with
+    | Some inv -> inv
+    | None -> invalid_arg "Savitzky_golay.system: singular normal equations"
+  in
+  (* kernel polynomial of window point k: q_k(x,y) = basis(x,y)^T
+     (A^T A)^{-1} a_k *)
+  let kernel_coeffs k =
+    let a_k = M.make nb 1 (fun r _ -> M.get a k r) in
+    let w = M.mul ata_inv a_k in
+    List.mapi (fun c (i, j) -> ((i, j), M.get w c 0)) b
+  in
+  let rational_systems =
+    List.mapi (fun k _ -> kernel_coeffs k) points
+  in
+  (* common denominator across the whole system *)
+  let denom =
+    List.fold_left
+      (fun acc coeffs ->
+        List.fold_left (fun acc (_, q) -> Z.lcm acc (Q.den q)) acc coeffs)
+      Z.one rational_systems
+  in
+  List.map
+    (fun coeffs ->
+      Poly.of_terms
+        (List.filter_map
+           (fun ((i, j), q) ->
+             let c = Q.to_zint_exn (Q.mul q (Q.of_zint denom)) in
+             if Z.is_zero c then None
+             else
+               Some
+                 ( c,
+                   Monomial.of_list
+                     ((if i = 0 then [] else [ ("x", i) ])
+                     @ (if j = 0 then [] else [ ("y", j) ])) ))
+           coeffs))
+    rational_systems

@@ -1,0 +1,27 @@
+(** Two-dimensional Savitzky-Golay filter systems.
+
+    A 2-D SG filter fits a bivariate polynomial of the given degree to the
+    samples of a [window x window] neighbourhood by exact least squares.
+    Writing the fitted surface as [p(x,y) = sum_k z_k q_k(x,y)], each window
+    position [k] contributes one {e effective kernel polynomial}
+    [q_k(x, y)] of the fit degree — so the "SG wxd" system has [window^2]
+    polynomials of degree [d] in two variables, exactly the benchmark
+    characteristics of Table 14.3.  The shifted/symmetric structure of the
+    [q_k] is what gives these systems their common sub-expressions.
+
+    The least-squares solve is exact (rational linear algebra); the
+    resulting rational coefficients are scaled by their common denominator
+    to give the integer polynomial system a bit-vector datapath computes. *)
+
+module Poly := Polysynth_poly.Poly
+
+val offsets : int -> int list
+(** Window coordinates: consecutive symmetric integers for odd windows
+    ([-1; 0; 1]), doubled half-integers for even ones ([-3; -1; 1; 3]).
+    @raise Invalid_argument when the window is smaller than 2. *)
+
+val system : window:int -> degree:int -> Poly.t list
+(** The [window^2] kernel polynomials in variables ["x"], ["y"], in
+    row-major window order, scaled to integer coefficients.
+    @raise Invalid_argument when [degree] is too large for the window to
+    determine the fit. *)

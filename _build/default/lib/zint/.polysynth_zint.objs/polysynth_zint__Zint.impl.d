@@ -1,0 +1,1 @@
+lib/zint/zint.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/zint/zint.mli: Format

@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest List Polysynth_cse Polysynth_expr Polysynth_poly Polysynth_zint Printf QCheck QCheck_alcotest Stdlib String

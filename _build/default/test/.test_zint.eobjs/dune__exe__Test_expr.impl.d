@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest List Polysynth_expr Polysynth_poly Polysynth_zint QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_factor.ml: Alcotest List Polysynth_factor Polysynth_poly Polysynth_zint QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_finite_ring.ml: Alcotest Fun List Polysynth_finite_ring Polysynth_poly Polysynth_zint Printf QCheck QCheck_alcotest String

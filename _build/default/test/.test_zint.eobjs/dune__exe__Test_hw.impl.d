@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Filename List Out_channel Polysynth_expr Polysynth_hw Polysynth_poly Polysynth_zint Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Format List Polysynth_linalg Polysynth_rat QCheck QCheck_alcotest

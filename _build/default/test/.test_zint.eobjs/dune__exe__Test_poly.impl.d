@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest List Polysynth_poly Polysynth_zint QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Polysynth_rat Polysynth_zint QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ted.ml: Alcotest List Polysynth_expr Polysynth_poly Polysynth_ted Polysynth_zint Printf QCheck QCheck_alcotest

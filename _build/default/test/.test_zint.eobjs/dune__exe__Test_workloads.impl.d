@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename In_channel List Polysynth_core Polysynth_poly Polysynth_rat Polysynth_workloads Polysynth_zint Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_zint.ml: Alcotest List Polysynth_zint Printf QCheck QCheck_alcotest

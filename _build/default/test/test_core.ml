@@ -1,0 +1,554 @@
+module Z = Polysynth_zint.Zint
+module P = Polysynth_poly.Poly
+module Parse = Polysynth_poly.Parse
+module E = Polysynth_expr.Expr
+module Dag = Polysynth_expr.Dag
+module Prog = Polysynth_expr.Prog
+module Ring = Polysynth_finite_ring.Canonical
+module Cost = Polysynth_hw.Cost
+module Cce = Polysynth_core.Cce
+module Blocks = Polysynth_core.Blocks
+module Blocktab = Polysynth_core.Blocktab
+module Horner = Polysynth_core.Horner
+module Algdiv = Polysynth_core.Algdiv
+module Canon_rep = Polysynth_core.Canonical_rep
+module Represent = Polysynth_core.Represent
+module Search = Polysynth_core.Search
+module Integrated = Polysynth_core.Integrated
+module Baselines = Polysynth_core.Baselines
+module Pipe = Polysynth_core.Pipeline
+module Ex = Polysynth_workloads.Examples
+module Rand = Polysynth_workloads.Random_system
+
+let p = Parse.poly
+let poly = Alcotest.testable P.pp P.equal
+let check_p = Alcotest.check poly
+
+let prop name ?(count = 60) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let ops prog = Dag.total_ops (Prog.counts prog)
+
+let tree_ops polys =
+  List.fold_left
+    (fun acc q -> acc + Dag.total_ops (Dag.tree_counts (E.of_poly q)))
+    0 polys
+
+(* cce ---------------------------------------------------------------------------- *)
+
+let test_cce_candidate_gcds () =
+  let gcds coeffs = List.map Z.to_int_exn (Cce.candidate_gcds (List.map Z.of_int coeffs)) in
+  Alcotest.(check (list int)) "paper example 14.12" [ 15; 8 ] (gcds [ 8; 16; 24; 15; 30 ]);
+  Alcotest.(check (list int)) "gcd 6 dropped" [] (gcds [ 24; 30 ]);
+  Alcotest.(check (list int)) "ones dropped" [] (gcds [ 3; 7; 11 ]);
+  Alcotest.(check (list int)) "signs ignored" [ 5 ] (gcds [ -5; 10 ])
+
+let test_cce_paper_example () =
+  (* P1 = 8x + 16y + 24z + 15a + 30b + 11 -> 8(x+2y+3z) + 15(a+2b) + 11 *)
+  let r = Cce.extract Ex.section_14_4_1 in
+  Alcotest.(check int) "two groups" 2 (List.length r.Cce.groups);
+  (match r.Cce.groups with
+   | [ (g1, b1); (g2, b2) ] ->
+     Alcotest.(check int) "g1 = 15" 15 (Z.to_int_exn g1);
+     check_p "b1 = a + 2b" (p "a + 2*b") b1;
+     Alcotest.(check int) "g2 = 8" 8 (Z.to_int_exn g2);
+     check_p "b2 = x + 2y + 3z" (p "x + 2*y + 3*z") b2
+   | _ -> Alcotest.fail "unexpected group shape");
+  check_p "residual 11" (p "11") r.Cce.residual;
+  check_p "recomposes" Ex.section_14_4_1 (Cce.recompose r)
+
+let test_cce_table_14_2 () =
+  (* 13x^2+26xy+13y^2+7x-7y+11 -> 13(x^2+2xy+y^2) + 7(x-y) + 11 *)
+  let r = Cce.extract (List.hd Ex.table_14_2) in
+  Alcotest.(check bool) "has 13-group" true
+    (List.exists
+       (fun (g, b) -> Z.to_int_exn g = 13 && P.equal b (p "x^2 + 2*x*y + y^2"))
+       r.Cce.groups);
+  Alcotest.(check bool) "has 7-group (x - y)" true
+    (List.exists
+       (fun (g, b) -> Z.to_int_exn g = 7 && P.equal b (p "x - y"))
+       r.Cce.groups);
+  check_p "residual" (p "11") r.Cce.residual
+
+let test_cce_nothing_to_do () =
+  let r = Cce.extract (p "3*x + 7*y + 11") in
+  Alcotest.(check int) "no groups" 0 (List.length r.Cce.groups);
+  check_p "residual is whole" (p "3*x + 7*y + 11") r.Cce.residual
+
+let test_cce_motivating () =
+  (* 5x^2 + 10y^3 + 15qw = 5(x^2 + 2y^3 + 3qw) *)
+  let r = Cce.extract Ex.coefficient_factoring_motivation in
+  (match r.Cce.groups with
+   | [ (g, b) ] ->
+     Alcotest.(check int) "g = 5" 5 (Z.to_int_exn g);
+     check_p "block" (p "x^2 + 2*y^3 + 3*q*w") b
+   | _ -> Alcotest.fail "expected one group")
+
+(* blocks --------------------------------------------------------------------------- *)
+
+let test_blocks_table_14_1 () =
+  let divisors = Blocks.discover Ex.table_14_1 in
+  Alcotest.(check bool) "finds x + 3y" true
+    (List.exists (P.equal (p "x + 3*y")) divisors)
+
+let test_blocks_table_14_2 () =
+  let divisors = Blocks.discover Ex.table_14_2 in
+  Alcotest.(check bool) "finds x + y" true
+    (List.exists (P.equal (p "x + y")) divisors);
+  Alcotest.(check bool) "finds x - y" true
+    (List.exists (P.equal (p "x - y")) divisors)
+
+let test_blocks_all_linear () =
+  let divisors = Blocks.discover (Ex.table_14_2 @ Ex.table_14_1) in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (P.to_string d ^ " linear") true (Blocks.is_linear d);
+      Alcotest.(check bool) "primitive" true
+        (Z.is_one (P.content d)))
+    divisors
+
+let test_blocks_normalize () =
+  check_p "sign" (p "x + y") (Blocks.normalize (p "-x - y"));
+  check_p "content" (p "x + 2*y") (Blocks.normalize (p "3*x + 6*y"))
+
+(* horner ---------------------------------------------------------------------------- *)
+
+let test_horner_correct () =
+  List.iter
+    (fun q ->
+      check_p ("horner " ^ P.to_string q) q (E.to_poly (Horner.rep q)))
+    (Ex.table_14_1 @ Ex.table_14_2 @ [ p "0"; p "7"; p "x" ])
+
+let test_horner_reduces () =
+  (* x^2 + 6xy: x(x + 6y) uses 2 mults + 1 cmult vs 3 ops... compare ops *)
+  let direct = Dag.total_ops (Dag.tree_counts (E.of_poly (p "x^3 + x^2 + x"))) in
+  let horner = Dag.total_ops (Dag.tree_counts (Horner.rep (p "x^3 + x^2 + x"))) in
+  Alcotest.(check bool) "horner cheaper" true (horner < direct)
+
+let test_horner_best_variable () =
+  Alcotest.(check (option string)) "x most frequent" (Some "x")
+    (Horner.best_variable (p "x^2 + x*y + x*z + y"));
+  Alcotest.(check (option string)) "no repeated var" None
+    (Horner.best_variable (p "x + y + z"))
+
+(* algdiv ----------------------------------------------------------------------------- *)
+
+let decompose_with divisors q =
+  let table = Blocktab.create () in
+  let session = Algdiv.make_session table ~divisors:(List.map p divisors) in
+  let e = Algdiv.decompose session q in
+  (e, table)
+
+let expand_with table e =
+  (* substitute block definitions (they only mention input vars) *)
+  let defs = Blocktab.defs table in
+  let lookup v = Option.map E.of_poly (List.assoc_opt v defs) in
+  E.to_poly (E.subst lookup e)
+
+let test_algdiv_perfect_square () =
+  let q = p "x^2 + 6*x*y + 9*y^2" in
+  let e, table = decompose_with [ "x + 3*y" ] q in
+  check_p "expands back" q (expand_with table e);
+  (* the decomposition must be d^2: one multiplication after the block *)
+  Alcotest.(check int) "uses a power of the divisor" 1
+    (Dag.total_ops (Dag.tree_counts e))
+
+let test_algdiv_table_14_2_p1 () =
+  let q = List.hd Ex.table_14_2 in
+  let e, table = decompose_with [ "x + y"; "x - y" ] q in
+  check_p "expands back" q (expand_with table e);
+  (* 13*d1^2 + 7*d2 + 11: 3 mults + 2 adds = 5 ops *)
+  Alcotest.(check bool) "cost <= 5" true (Dag.total_ops (Dag.tree_counts e) <= 5)
+
+let test_algdiv_no_divisors () =
+  let q = p "x^2 + y^2 + 3" in
+  let e, table = decompose_with [] q in
+  check_p "still correct" q (expand_with table e)
+
+let test_algdiv_zero_and_const () =
+  let e0, t0 = decompose_with [ "x + y" ] P.zero in
+  check_p "zero" P.zero (expand_with t0 e0);
+  let e1, t1 = decompose_with [ "x + y" ] (p "42") in
+  check_p "const" (p "42") (expand_with t1 e1)
+
+(* canonical rep -------------------------------------------------------------------------- *)
+
+let test_canonical_rep_shares_y_blocks () =
+  let ctx = Ring.make_ctx ~out_width:16 () in
+  let table = Blocktab.create () in
+  let e3 = Canon_rep.rep ctx table (List.nth Ex.table_14_2 2) in
+  let e4 = Canon_rep.rep ctx table (List.nth Ex.table_14_2 3) in
+  let prog =
+    { Prog.bindings = Blocktab.bindings table;
+      outputs = [ ("P3", e3); ("P4", e4) ] }
+  in
+  let c = Prog.counts prog in
+  (* the paper's d3 sharing: P3+P4 together need <= 9 mults *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shared falling blocks (%d mults)" c.Dag.mults)
+    true (c.Dag.mults <= 9)
+
+let test_canonical_rep_function_equal () =
+  let ctx = Ring.make_ctx ~out_width:8 () in
+  let table = Blocktab.create () in
+  let q = p "4*x^2*y^2 - 4*x^2*y - 4*x*y^2 + 4*x*y" in
+  let e = Canon_rep.rep ctx table q in
+  let defs = Blocktab.defs table in
+  let lookup v = Option.map E.of_poly (List.assoc_opt v defs) in
+  let expanded = E.to_poly (E.subst lookup e) in
+  Alcotest.(check bool) "same bit-vector function" true
+    (Ring.equal_functions ctx q expanded)
+
+(* represent / search ------------------------------------------------------------------------ *)
+
+let test_represent_has_reps () =
+  let r = Represent.build ~ctx:(Ring.make_ctx ~out_width:16 ()) Ex.table_14_2 in
+  Array.iter
+    (fun reps ->
+      Alcotest.(check bool) "non-empty" true (List.length reps >= 2);
+      Alcotest.(check bool) "has direct" true
+        (List.exists (fun rep -> rep.Represent.label = "direct") reps))
+    r.Represent.reps;
+  Alcotest.(check bool) "combinations > 1" true (Represent.num_combinations r > 1)
+
+let test_represent_exact_reps_expand () =
+  let r = Represent.build Ex.table_14_1 in
+  Array.iteri
+    (fun i reps ->
+      let original = r.Represent.polys.(i) in
+      List.iter
+        (fun rep ->
+          if rep.Represent.semantics = Represent.Exact then begin
+            let defs = Blocktab.defs r.Represent.table in
+            let lookup v = Option.map E.of_poly (List.assoc_opt v defs) in
+            check_p
+              (Printf.sprintf "rep %s of P%d" rep.Represent.label (i + 1))
+              original
+              (E.to_poly (E.subst lookup rep.Represent.expr))
+          end)
+        reps)
+    r.Represent.reps
+
+let test_search_table_14_1 () =
+  let r = Represent.build Ex.table_14_1 in
+  let sel = Search.select (Search.default_options ~width:16) r in
+  Alcotest.(check bool) "exhaustive" true sel.Search.exhaustive;
+  Alcotest.(check int) "8 mults" 8 sel.Search.counts.Dag.mults;
+  Alcotest.(check int) "1 add" 1 sel.Search.counts.Dag.adds;
+  Alcotest.(check bool) "verifies" true (Pipe.verify Ex.table_14_1 sel.Search.prog)
+
+let test_search_beam_on_large () =
+  (* force coordinate descent with a tiny exhaustive limit *)
+  let r = Represent.build Ex.table_14_2 in
+  let options =
+    { (Search.default_options ~width:16) with Search.exhaustive_limit = 1 }
+  in
+  let sel = Search.select options r in
+  Alcotest.(check bool) "not exhaustive" false sel.Search.exhaustive;
+  Alcotest.(check bool) "verifies" true (Pipe.verify Ex.table_14_2 sel.Search.prog);
+  (* descent still reaches a good decomposition *)
+  Alcotest.(check bool) "better than direct" true
+    (Dag.total_ops sel.Search.counts < tree_ops Ex.table_14_2)
+
+(* integrated ----------------------------------------------------------------------------------- *)
+
+let test_integrated_variants_exact () =
+  List.iter
+    (fun (label, prog) ->
+      Alcotest.(check bool) (label ^ " verifies") true
+        (Pipe.verify Ex.table_14_2 prog))
+    (Integrated.variants Ex.table_14_2)
+
+let test_integrated_never_terrible () =
+  List.iter
+    (fun (label, prog) ->
+      Alcotest.(check bool) (label ^ " no worse than direct") true
+        (ops prog <= tree_ops Ex.table_14_2))
+    (Integrated.variants Ex.table_14_2)
+
+(* pipeline --------------------------------------------------------------------------------------- *)
+
+let test_pipeline_table_14_1 () =
+  let reports = Pipe.compare_methods ~width:16 Ex.table_14_1 in
+  let by name =
+    List.find (fun r -> Pipe.method_label r.Pipe.method_name = name) reports
+  in
+  let proposed = by "proposed" and baseline = by "factor+cse" in
+  Alcotest.(check int) "proposed 8 mults" 8 proposed.Pipe.counts.Dag.mults;
+  Alcotest.(check int) "proposed 1 add" 1 proposed.Pipe.counts.Dag.adds;
+  Alcotest.(check int) "baseline 12 mults" 12 baseline.Pipe.counts.Dag.mults;
+  Alcotest.(check int) "baseline 4 adds" 4 baseline.Pipe.counts.Dag.adds;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Pipe.method_label r.Pipe.method_name ^ " verifies")
+        true
+        (Pipe.verify Ex.table_14_1 r.Pipe.prog))
+    reports
+
+let test_pipeline_table_14_2 () =
+  let ctx = Ring.make_ctx ~out_width:16 () in
+  let proposed = Pipe.synthesize ~ctx ~width:16 Ex.table_14_2 in
+  Alcotest.(check int) "14 mults" 14 proposed.Pipe.counts.Dag.mults;
+  Alcotest.(check int) "12 adds" 12 proposed.Pipe.counts.Dag.adds;
+  Alcotest.(check bool) "verifies mod ring" true
+    (Pipe.verify ~ctx Ex.table_14_2 proposed.Pipe.prog)
+
+let test_pipeline_direct_tree_counts () =
+  (* initial cost of the Table 14.2 system: 51 MULT / 21 ADD *)
+  let direct = Baselines.direct Ex.table_14_2 in
+  let c = Prog.tree_counts direct in
+  Alcotest.(check int) "51 mults" 51 c.Dag.mults;
+  Alcotest.(check int) "21 adds" 21 c.Dag.adds;
+  let c1 = Prog.tree_counts (Baselines.direct Ex.table_14_1) in
+  Alcotest.(check int) "17 mults" 17 c1.Dag.mults;
+  Alcotest.(check int) "4 adds" 4 c1.Dag.adds
+
+let test_pipeline_proposed_beats_baseline_on_paper_tables () =
+  List.iter
+    (fun system ->
+      let base = Pipe.run ~width:16 Pipe.Factor_cse system in
+      let prop = Pipe.run ~width:16 Pipe.Proposed system in
+      Alcotest.(check bool) "area no worse" true
+        (prop.Pipe.cost.Cost.area <= base.Pipe.cost.Cost.area))
+    [ Ex.table_14_1; Ex.table_14_2 ]
+
+(* coefficient folding ------------------------------------------------------------------------------- *)
+
+let test_coeff_fold_helps () =
+  (* 65535*x = -x mod 2^16: one negation instead of a fat CSD multiplier *)
+  let system = [ p "65535*x + 255*y" ] in
+  let ctx = Ring.make_ctx ~out_width:16 () in
+  let plain = Pipe.run ~width:16 Pipe.Proposed system in
+  let ring = Pipe.run ~ctx ~width:16 Pipe.Proposed system in
+  Alcotest.(check bool)
+    (Printf.sprintf "folded area %d < plain %d" ring.Pipe.cost.Cost.area
+       plain.Pipe.cost.Cost.area)
+    true
+    (ring.Pipe.cost.Cost.area < plain.Pipe.cost.Cost.area);
+  Alcotest.(check bool) "function-equal" true
+    (Pipe.verify ~ctx system ring.Pipe.prog)
+
+let prop_coeff_fold_sound =
+  prop "ring-aware synthesis is function-equal" ~count:30
+    (QCheck.make QCheck.Gen.(int_range 1 100000) ~print:string_of_int)
+    (fun seed ->
+      let system =
+        Rand.generate ~seed
+          { Rand.default_config with
+            Rand.num_polys = 2; max_terms = 3; max_coeff = 300 }
+      in
+      let ctx = Ring.make_ctx ~out_width:8 () in
+      let r = Pipe.run ~ctx ~width:8 Pipe.Proposed system in
+      Pipe.verify ~ctx system r.Pipe.prog)
+
+(* objectives -------------------------------------------------------------------------------------- *)
+
+let test_objectives () =
+  let system = (Option.get (Polysynth_workloads.Benchmarks.by_name "Mibench")).Polysynth_workloads.Benchmarks.polys in
+  let run objective =
+    let options =
+      { (Search.default_options ~width:8) with Search.objective }
+    in
+    Pipe.run ~options ~width:8 Pipe.Proposed system
+  in
+  let area_r = run Search.Min_area in
+  let delay_r = run Search.Min_delay in
+  let ops_r = run Search.Min_ops in
+  (* each objective is at least as good as the others on its own metric *)
+  Alcotest.(check bool) "min-area has min area" true
+    (area_r.Pipe.cost.Cost.area <= delay_r.Pipe.cost.Cost.area
+    && area_r.Pipe.cost.Cost.area <= ops_r.Pipe.cost.Cost.area);
+  Alcotest.(check bool) "min-delay has min delay" true
+    (delay_r.Pipe.cost.Cost.delay <= area_r.Pipe.cost.Cost.delay +. 1e-9);
+  Alcotest.(check bool) "min-ops has min ops" true
+    (Dag.total_ops ops_r.Pipe.counts <= Dag.total_ops area_r.Pipe.counts);
+  (* all of them remain exact *)
+  List.iter
+    (fun r -> Alcotest.(check bool) "exact" true (Pipe.verify system r.Pipe.prog))
+    [ area_r; delay_r; ops_r ]
+
+let test_objective_power_runs () =
+  let system = Ex.table_14_1 in
+  let options =
+    { (Search.default_options ~width:16) with Search.objective = Search.Min_power }
+  in
+  let r = Pipe.run ~options ~width:16 Pipe.Proposed system in
+  Alcotest.(check bool) "exact under power objective" true
+    (Pipe.verify system r.Pipe.prog)
+
+(* pretty-printed programs round-trip through the program parser ------------------ *)
+
+let test_prog_pp_parse_roundtrip () =
+  let ctx = Ring.make_ctx ~out_width:16 () in
+  List.iter
+    (fun (system, use_ctx) ->
+      let r =
+        if use_ctx then Pipe.synthesize ~ctx ~width:16 system
+        else Pipe.synthesize ~width:16 system
+      in
+      let text = Format.asprintf "%a" Prog.pp r.Pipe.prog in
+      let reparsed = Polysynth_expr.Prog_parse.program text in
+      let before = Prog.to_polys r.Pipe.prog in
+      let after = Prog.to_polys reparsed in
+      List.iter
+        (fun (name, q) ->
+          match List.assoc_opt name after with
+          | Some q' -> check_p ("roundtrip " ^ name) q q'
+          | None -> Alcotest.fail ("missing output " ^ name))
+        before)
+    [ (Ex.table_14_1, false); (Ex.table_14_2, true) ]
+
+(* degenerate inputs ---------------------------------------------------------------------------------- *)
+
+let test_degenerate_systems () =
+  let check name system =
+    let r = Pipe.run ~width:16 Pipe.Proposed system in
+    Alcotest.(check bool) (name ^ " exact") true (Pipe.verify system r.Pipe.prog)
+  in
+  check "empty" [];
+  check "constant" [ p "7" ];
+  check "zero" [ P.zero ];
+  check "single variable" [ p "x" ];
+  check "negative constant" [ P.of_int (-3) ];
+  check "mixed degenerate" [ P.zero; p "1"; p "x" ];
+  (* 1-bit ring: x^2 + x is the zero function *)
+  let ctx1 = Ring.make_ctx ~out_width:1 () in
+  let r = Pipe.run ~ctx:ctx1 ~width:1 Pipe.Proposed [ p "x^2 + x" ] in
+  Alcotest.(check bool) "1-bit ring" true
+    (Pipe.verify ~ctx:ctx1 [ p "x^2 + x" ] r.Pipe.prog)
+
+(* properties -------------------------------------------------------------------------------------- *)
+
+let arb_seed = QCheck.make QCheck.Gen.(int_range 1 1_000_000) ~print:string_of_int
+
+let random_system seed =
+  Rand.generate ~seed
+    { Rand.default_config with Rand.num_polys = 2; max_terms = 4 }
+
+let prop_cce_recompose =
+  prop "CCE recomposes" ~count:200 arb_seed (fun seed ->
+      List.for_all
+        (fun q -> P.equal q (Cce.recompose (Cce.extract q)))
+        (random_system seed))
+
+let prop_proposed_verifies =
+  prop "proposed synthesis is exact" ~count:40 arb_seed (fun seed ->
+      let system = random_system seed in
+      let r = Pipe.run ~width:16 Pipe.Proposed system in
+      Pipe.verify system r.Pipe.prog)
+
+let prop_all_methods_verify =
+  prop "all methods are exact" ~count:30 arb_seed (fun seed ->
+      let system = random_system seed in
+      List.for_all
+        (fun r -> Pipe.verify system r.Pipe.prog)
+        (Pipe.compare_methods ~width:16 system))
+
+let prop_proposed_never_worse_than_direct =
+  (* the search minimizes estimated area and always evaluates the all-direct
+     combination, so the proposed result can never cost more area than the
+     direct program (operator count MAY grow: cheap constant multipliers can
+     be traded for an extra operation) *)
+  prop "proposed area <= direct area" ~count:40 arb_seed (fun seed ->
+      let system = random_system seed in
+      let r = Pipe.run ~width:16 Pipe.Proposed system in
+      let direct =
+        Cost.of_prog ~width:16 (Baselines.direct system)
+      in
+      r.Pipe.cost.Cost.area <= direct.Cost.area)
+
+let prop_proposed_mod_ring_verifies =
+  prop "proposed with ring ctx is function-equal" ~count:30 arb_seed
+    (fun seed ->
+      let system = random_system seed in
+      let ctx = Ring.make_ctx ~out_width:8 () in
+      let r = Pipe.run ~ctx ~width:8 Pipe.Proposed system in
+      Pipe.verify ~ctx system r.Pipe.prog)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "cce",
+        [
+          Alcotest.test_case "candidate gcds" `Quick test_cce_candidate_gcds;
+          Alcotest.test_case "paper 14.4.1 example" `Quick test_cce_paper_example;
+          Alcotest.test_case "table 14.2 P1" `Quick test_cce_table_14_2;
+          Alcotest.test_case "nothing to extract" `Quick test_cce_nothing_to_do;
+          Alcotest.test_case "coefficient motivation" `Quick test_cce_motivating;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "table 14.1 divisor" `Quick test_blocks_table_14_1;
+          Alcotest.test_case "table 14.2 divisors" `Quick test_blocks_table_14_2;
+          Alcotest.test_case "all linear and primitive" `Quick test_blocks_all_linear;
+          Alcotest.test_case "normalize" `Quick test_blocks_normalize;
+        ] );
+      ( "horner",
+        [
+          Alcotest.test_case "correct" `Quick test_horner_correct;
+          Alcotest.test_case "reduces univariate" `Quick test_horner_reduces;
+          Alcotest.test_case "best variable" `Quick test_horner_best_variable;
+        ] );
+      ( "algdiv",
+        [
+          Alcotest.test_case "perfect square" `Quick test_algdiv_perfect_square;
+          Alcotest.test_case "table 14.2 P1" `Quick test_algdiv_table_14_2_p1;
+          Alcotest.test_case "no divisors" `Quick test_algdiv_no_divisors;
+          Alcotest.test_case "zero and const" `Quick test_algdiv_zero_and_const;
+        ] );
+      ( "canonical_rep",
+        [
+          Alcotest.test_case "shares Y blocks" `Quick
+            test_canonical_rep_shares_y_blocks;
+          Alcotest.test_case "function equal" `Quick
+            test_canonical_rep_function_equal;
+        ] );
+      ( "represent/search",
+        [
+          Alcotest.test_case "rep lists" `Quick test_represent_has_reps;
+          Alcotest.test_case "exact reps expand" `Quick
+            test_represent_exact_reps_expand;
+          Alcotest.test_case "search table 14.1" `Quick test_search_table_14_1;
+          Alcotest.test_case "coordinate descent" `Quick test_search_beam_on_large;
+        ] );
+      ( "integrated",
+        [
+          Alcotest.test_case "variants exact" `Quick test_integrated_variants_exact;
+          Alcotest.test_case "never terrible" `Quick test_integrated_never_terrible;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "table 14.1 counts" `Quick test_pipeline_table_14_1;
+          Alcotest.test_case "table 14.2 counts" `Quick test_pipeline_table_14_2;
+          Alcotest.test_case "direct tree counts" `Quick
+            test_pipeline_direct_tree_counts;
+          Alcotest.test_case "beats baseline on paper tables" `Quick
+            test_pipeline_proposed_beats_baseline_on_paper_tables;
+        ] );
+      ( "degenerate",
+        [ Alcotest.test_case "degenerate systems" `Quick test_degenerate_systems ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "Prog.pp parses back" `Quick
+            test_prog_pp_parse_roundtrip;
+        ] );
+      ( "coeff_fold",
+        [
+          Alcotest.test_case "folding helps" `Quick test_coeff_fold_helps;
+          prop_coeff_fold_sound;
+        ] );
+      ( "objectives",
+        [
+          Alcotest.test_case "objective dominance" `Quick test_objectives;
+          Alcotest.test_case "power objective" `Quick test_objective_power_runs;
+        ] );
+      ( "properties",
+        [
+          prop_cce_recompose;
+          prop_proposed_verifies;
+          prop_all_methods_verify;
+          prop_proposed_never_worse_than_direct;
+          prop_proposed_mod_ring_verifies;
+        ] );
+    ]

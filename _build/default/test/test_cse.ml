@@ -1,0 +1,342 @@
+module Z = Polysynth_zint.Zint
+module P = Polysynth_poly.Poly
+module Mono = Polysynth_poly.Monomial
+module Parse = Polysynth_poly.Parse
+module K = Polysynth_cse.Kernel
+module X = Polysynth_cse.Extract
+module Dag = Polysynth_expr.Dag
+module Prog = Polysynth_expr.Prog
+module E = Polysynth_expr.Expr
+
+let p = Parse.poly
+let poly = Alcotest.testable P.pp P.equal
+let mono = Alcotest.testable Mono.pp Mono.equal
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* kernels ------------------------------------------------------------------- *)
+
+let test_largest_cube () =
+  Alcotest.check mono "abc" (Mono.of_list [ ("a", 1); ("b", 1); ("c", 1) ])
+    (K.largest_cube (p "4*a*b*c - 3*a^2*b^2*c"));
+  Alcotest.check mono "none" Mono.one (K.largest_cube (p "x + y"));
+  Alcotest.check mono "zero poly" Mono.one (K.largest_cube P.zero)
+
+let test_cube_free () =
+  Alcotest.(check bool) "x+y cube free" true (K.is_cube_free (p "x + y"));
+  Alcotest.(check bool) "xy+xz not" false (K.is_cube_free (p "x*y + x*z"));
+  Alcotest.check poly "cube free part" (p "4 - 3*a*b")
+    (K.cube_free_part (p "4*a*b*c - 3*a^2*b^2*c"))
+
+let test_divide_cube () =
+  Alcotest.check poly "P/abc" (p "4 - 3*a*b")
+    (K.divide_cube (p "4*a*b*c - 3*a^2*b^2*c")
+       (Mono.of_list [ ("a", 1); ("b", 1); ("c", 1) ]));
+  Alcotest.check poly "partial" (p "x")
+    (K.divide_cube (p "x*y + z") (Mono.var "y"))
+
+let test_paper_kernel_example () =
+  (* Section 14.2.1: P = 4abc - 3a^2b^2c, kernel 4 - 3ab, co-kernel abc *)
+  let ks = K.kernels (p "4*a*b*c - 3*a^2*b^2*c") in
+  Alcotest.(check bool) "has (abc, 4-3ab)" true
+    (List.exists
+       (fun (ck, k) ->
+         Mono.equal ck (Mono.of_list [ ("a", 1); ("b", 1); ("c", 1) ])
+         && P.equal k (p "4 - 3*a*b"))
+       ks)
+
+let test_section_14_4_2_kernels () =
+  (* P1 = x^2y + xyz -> (xy, x + z); P2 = ab^2c^3 + b^2c^2x -> (b^2c^2, ac + x);
+     P3 = axz + x^2z^2b -> (xz, a + xzb) *)
+  let has pstr ck_list kstr =
+    let ks = K.kernels (p pstr) in
+    List.exists
+      (fun (ck, k) ->
+        Mono.equal ck (Mono.of_list ck_list) && P.equal k (p kstr))
+      ks
+  in
+  Alcotest.(check bool) "P1" true (has "x^2*y + x*y*z" [ ("x", 1); ("y", 1) ] "x + z");
+  Alcotest.(check bool) "P2" true
+    (has "a*b^2*c^3 + b^2*c^2*x" [ ("b", 2); ("c", 2) ] "a*c + x");
+  Alcotest.(check bool) "P3" true
+    (has "a*x*z + x^2*z^2*b" [ ("x", 1); ("z", 1) ] "a + x*z*b")
+
+let test_kernels_are_kernels () =
+  (* definition check on a richer polynomial *)
+  let q = p "x^2*y + x*y^2 + x*y*z + 3*x^2*y^2*z" in
+  let ks = K.kernels q in
+  Alcotest.(check bool) "some kernels" true (List.length ks > 0);
+  List.iter
+    (fun (ck, k) ->
+      Alcotest.(check bool) "cube free" true (K.is_cube_free k);
+      Alcotest.(check bool) ">= 2 terms" true (P.num_terms k >= 2);
+      (* co-kernel * kernel terms all appear in q *)
+      List.iter
+        (fun (c, m) ->
+          Alcotest.(check bool) "term in q" true
+            (Z.equal (P.coeff q (Mono.mul ck m)) c))
+        (P.terms k))
+    ks
+
+let test_kernels_univariate_powers () =
+  (* x^2 co-kernels require revisiting the same literal *)
+  let ks = K.kernels (p "x^2*y + x^2*z + x^3") in
+  Alcotest.(check bool) "co-kernel x^2" true
+    (List.exists
+       (fun (ck, k) ->
+         Mono.equal ck (Mono.of_list [ ("x", 2) ]) && P.equal k (p "y + z + x"))
+       ks)
+
+(* extraction ----------------------------------------------------------------- *)
+
+let table_14_1 =
+  [ p "x^2 + 6*x*y + 9*y^2"; p "4*x*y^2 + 12*y^3"; p "2*x^2*z + 6*x*y*z" ]
+
+let check_prog_correct original result =
+  let polys = Prog.to_polys result.X.prog in
+  List.iteri
+    (fun i q ->
+      Alcotest.check poly
+        (Printf.sprintf "output %d expands back" (i + 1))
+        q
+        (List.assoc (Printf.sprintf "P%d" (i + 1)) polys))
+    original
+
+let test_extract_table_14_1 () =
+  let result = X.run ~mode:X.Coeff_literals table_14_1 in
+  check_prog_correct table_14_1 result;
+  let c = Prog.counts result.X.prog in
+  (* the paper's factoring + CSE baseline reaches 12 MULT / 4 ADD *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mults %d <= 12" c.Dag.mults)
+    true (c.Dag.mults <= 12);
+  Alcotest.(check bool)
+    (Printf.sprintf "adds %d <= 4" c.Dag.adds)
+    true (c.Dag.adds <= 4);
+  (* but it must not beat the proposed method's 8/1: kernel/co-kernel
+     factoring alone cannot find (x + 3y)^2 *)
+  Alcotest.(check bool) "cannot reach 8" true (c.Dag.mults > 8)
+
+let test_extract_vars_only_coefficients_opaque () =
+  (* the coefficient-factoring limitation: 5x^2 + 10y^3 + 15pq has no cube
+     or kernel structure, so [13]-style extraction changes nothing *)
+  let system = [ p "5*x^2 + 10*y^3 + 15*q*w" ] in
+  let result = X.run ~mode:X.Coeff_literals system in
+  check_prog_correct system result;
+  Alcotest.(check int) "no blocks" 0 (List.length result.X.blocks)
+
+let test_extract_shared_kernel () =
+  (* (x + z) shared through co-kernels xy and ab *)
+  let system = [ p "x^2*y + x*y*z"; p "a*b*x + a*b*z" ] in
+  let result = X.run ~mode:X.Vars_only system in
+  check_prog_correct system result;
+  Alcotest.(check bool) "extracted a block" true (List.length result.X.blocks >= 1);
+  Alcotest.(check bool) "block (x+z) found" true
+    (List.exists (fun (_, b) -> P.equal b (p "x + z")) result.X.blocks)
+
+let test_extract_common_cube () =
+  (* x*y appears in every term across both polynomials *)
+  let system = [ p "x*y*z + x*y*w"; p "7*x*y*q" ] in
+  let result = X.run ~mode:X.Vars_only system in
+  check_prog_correct system result;
+  let c = Prog.counts result.X.prog in
+  (* naive: xyz(2), xyw(2), add, 7xyq(3) = 7 mults; sharing xy saves 2 *)
+  Alcotest.(check bool) (Printf.sprintf "mults %d <= 5" c.Dag.mults) true
+    (c.Dag.mults <= 5)
+
+let test_extract_improves_or_equal () =
+  let systems =
+    [ table_14_1;
+      [ p "x^2 + 2*x*y + y^2"; p "x^2 - 2*x*y + y^2" ];
+      [ p "x^3 + 3*x^2 + 3*x + 1" ];
+      [ p "0" ]; [ p "42" ] ]
+  in
+  List.iter
+    (fun system ->
+      let direct =
+        List.fold_left
+          (fun acc q -> acc + Dag.total_ops (Dag.tree_counts (E.of_poly q)))
+          0 system
+      in
+      let result = X.run system in
+      check_prog_correct system result;
+      let c = Prog.counts result.X.prog in
+      Alcotest.(check bool) "no worse than direct" true
+        (Dag.total_ops c <= direct))
+    systems
+
+(* kcm --------------------------------------------------------------------------- *)
+
+module Kcm = Polysynth_cse.Kcm
+
+let test_kcm_build () =
+  let t = Kcm.build table_14_1 in
+  Alcotest.(check bool) "has rows" true (Kcm.num_rows t > 0);
+  Alcotest.(check bool) "has cols" true (Kcm.num_cols t > 0);
+  let ck, k = Kcm.row_kernel t 0 in
+  Alcotest.(check bool) "kernel sane" true
+    (P.num_terms k >= 2 && Mono.degree ck >= 0);
+  Alcotest.check_raises "range" (Invalid_argument "Kcm.row_kernel: out of range")
+    (fun () -> ignore (Kcm.row_kernel t 9999))
+
+let test_kcm_finds_shared_kernel () =
+  (* (x + z) occurs as a kernel of both polynomials: the prime rectangle
+     formulation must find it *)
+  let system = [ p "x^2*y + x*y*z"; p "a*b*x + a*b*z" ] in
+  let cands = Kcm.candidates system in
+  Alcotest.(check bool) "found x + z" true
+    (List.exists (P.equal (p "x + z")) cands)
+
+let test_kcm_rectangles_are_rectangles () =
+  let t = Kcm.build (table_14_1 @ [ p "x^2*y + x*y*z"; p "x + z + q" ]) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) ">= 2 rows" true (List.length r.Kcm.rows >= 2);
+      Alcotest.(check bool) ">= 2 terms" true (P.num_terms r.Kcm.body >= 2);
+      (* every row's kernel contains the body *)
+      List.iter
+        (fun i ->
+          let _, k = Kcm.row_kernel t i in
+          List.iter
+            (fun (c, m) ->
+              Alcotest.(check bool) "body in kernel" true
+                (Z.equal (P.coeff k m) c))
+            (P.terms r.Kcm.body))
+        r.Kcm.rows;
+      Alcotest.(check bool) "positive value" true (r.Kcm.value >= 0))
+    (Kcm.prime_rectangles t)
+
+let test_kcm_strategy_correct () =
+  let result = X.run ~strategy:X.Kcm_rectangles table_14_1 in
+  check_prog_correct table_14_1 result;
+  let c = Prog.counts result.X.prog in
+  Alcotest.(check bool) "competitive with greedy" true (c.Dag.mults <= 13)
+
+(* properties -------------------------------------------------------------------- *)
+
+let gen_system =
+  let open QCheck.Gen in
+  let gen_mono =
+    list_size (int_range 0 3) (pair (oneofl [ "x"; "y"; "z" ]) (int_range 1 2))
+    >|= Mono.of_list
+  in
+  let gen_poly =
+    list_size (int_range 1 5) (pair (int_range (-9) 9) gen_mono)
+    >|= fun ts -> P.of_terms (List.map (fun (c, m) -> (Z.of_int c, m)) ts)
+  in
+  list_size (int_range 1 3) gen_poly
+
+let arb_system =
+  QCheck.make gen_system
+    ~print:(fun polys -> String.concat "; " (List.map P.to_string polys))
+
+let arb_system_env =
+  QCheck.make
+    QCheck.Gen.(pair gen_system (triple (int_range (-5) 5) (int_range (-5) 5) (int_range (-5) 5)))
+    ~print:(fun (polys, _) -> String.concat "; " (List.map P.to_string polys))
+
+let prop_extract_correct mode name =
+  prop name arb_system (fun system ->
+      let result = X.run ~mode system in
+      let polys = Prog.to_polys result.X.prog in
+      List.for_all2
+        (fun q (_, q') -> P.equal q q')
+        system
+        (List.sort
+           (fun (a, _) (b, _) ->
+             Stdlib.compare
+               (int_of_string (String.sub a 1 (String.length a - 1)))
+               (int_of_string (String.sub b 1 (String.length b - 1))))
+           polys))
+
+let prop_extract_correct_literals =
+  prop_extract_correct X.Coeff_literals "extraction is exact (literal mode)"
+
+let prop_extract_correct_vars =
+  prop_extract_correct X.Vars_only "extraction is exact (vars mode)"
+
+let prop_extract_eval =
+  prop "extracted program evaluates like the system" arb_system_env
+    (fun (system, (a, b, c)) ->
+      let env v =
+        match v with
+        | "x" -> Z.of_int a
+        | "y" -> Z.of_int b
+        | "z" -> Z.of_int c
+        | _ -> Z.zero
+      in
+      let result = X.run system in
+      let values = Prog.eval result.X.prog env in
+      List.for_all2
+        (fun q (i : int) ->
+          Z.equal (P.eval env q)
+            (List.assoc (Printf.sprintf "P%d" i) values))
+        system
+        (List.init (List.length system) (fun i -> i + 1)))
+
+let prop_kcm_strategy_correct =
+  prop "KCM strategy is exact" ~count:60 arb_system (fun system ->
+      let result = X.run ~strategy:X.Kcm_rectangles system in
+      let polys = Prog.to_polys result.X.prog in
+      List.for_all
+        (fun (i : int) ->
+          P.equal
+            (List.nth system (i - 1))
+            (List.assoc (Printf.sprintf "P%d" i) polys))
+        (List.init (List.length system) (fun i -> i + 1)))
+
+let prop_extract_never_worse =
+  prop "extraction never exceeds direct cost" arb_system (fun system ->
+      let direct =
+        List.fold_left
+          (fun acc q -> acc + Dag.total_ops (Dag.tree_counts (E.of_poly q)))
+          0 system
+      in
+      let result = X.run system in
+      Dag.total_ops (Prog.counts result.X.prog) <= direct)
+
+let () =
+  Alcotest.run "cse"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "largest cube" `Quick test_largest_cube;
+          Alcotest.test_case "cube free" `Quick test_cube_free;
+          Alcotest.test_case "divide cube" `Quick test_divide_cube;
+          Alcotest.test_case "paper kernel example" `Quick test_paper_kernel_example;
+          Alcotest.test_case "section 14.4.2 kernels" `Quick
+            test_section_14_4_2_kernels;
+          Alcotest.test_case "kernel definition invariants" `Quick
+            test_kernels_are_kernels;
+          Alcotest.test_case "power co-kernels" `Quick
+            test_kernels_univariate_powers;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "table 14.1 baseline" `Quick test_extract_table_14_1;
+          Alcotest.test_case "opaque coefficients" `Quick
+            test_extract_vars_only_coefficients_opaque;
+          Alcotest.test_case "shared kernel" `Quick test_extract_shared_kernel;
+          Alcotest.test_case "common cube" `Quick test_extract_common_cube;
+          Alcotest.test_case "improves or equal" `Quick
+            test_extract_improves_or_equal;
+        ] );
+      ( "kcm",
+        [
+          Alcotest.test_case "build" `Quick test_kcm_build;
+          Alcotest.test_case "finds shared kernel" `Quick
+            test_kcm_finds_shared_kernel;
+          Alcotest.test_case "rectangles are rectangles" `Quick
+            test_kcm_rectangles_are_rectangles;
+          Alcotest.test_case "strategy correct" `Quick test_kcm_strategy_correct;
+        ] );
+      ( "properties",
+        [
+          prop_extract_correct_literals;
+          prop_extract_correct_vars;
+          prop_extract_eval;
+          prop_kcm_strategy_correct;
+          prop_extract_never_worse;
+        ] );
+    ]

@@ -1,0 +1,554 @@
+module Z = Polysynth_zint.Zint
+module P = Polysynth_poly.Poly
+module Parse = Polysynth_poly.Parse
+module Mono = Polysynth_poly.Monomial
+module G = Polysynth_factor.Mgcd
+module S = Polysynth_factor.Squarefree
+
+let p = Parse.poly
+let poly = Alcotest.testable P.pp P.equal
+let check_p = Alcotest.check poly
+
+let prop name ?(count = 150) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let gen_poly ?(vars = [ "x"; "y"; "z" ]) ?(max_terms = 4) ?(max_exp = 2) () =
+  let open QCheck.Gen in
+  let gen_mono =
+    list_size (int_range 0 2) (pair (oneofl vars) (int_range 1 max_exp))
+    >|= Mono.of_list
+  in
+  list_size (int_range 0 max_terms) (pair (int_range (-6) 6) gen_mono)
+  >|= fun terms ->
+  P.of_terms (List.map (fun (c, m) -> (Z.of_int c, m)) terms)
+
+let arb_poly = QCheck.make (gen_poly ()) ~print:P.to_string
+
+let arb_pair = QCheck.make QCheck.Gen.(pair (gen_poly ()) (gen_poly ()))
+    ~print:(fun (a, b) -> P.to_string a ^ " || " ^ P.to_string b)
+
+let arb_triple =
+  QCheck.make
+    QCheck.Gen.(triple (gen_poly ()) (gen_poly ()) (gen_poly ~max_terms:3 ()))
+    ~print:(fun (a, b, c) ->
+      String.concat " || " [ P.to_string a; P.to_string b; P.to_string c ])
+
+(* gcd -------------------------------------------------------------------------- *)
+
+let test_gcd_univariate () =
+  check_p "gcd(x^2-1, x^2-2x+1)" (p "x - 1")
+    (G.gcd (p "x^2 - 1") (p "x^2 - 2*x + 1"));
+  check_p "gcd(x^2-1, x+1)" (p "x + 1") (G.gcd (p "x^2 - 1") (p "x + 1"));
+  check_p "coprime" P.one (G.gcd (p "x + 1") (p "x + 2"));
+  check_p "with content" (p "2*x + 2") (G.gcd (p "4*x^2 - 4") (p "2*x^2 + 4*x + 2"))
+
+let test_gcd_multivariate () =
+  check_p "gcd((x+y)^2*z, (x+y)*w)" (p "x + y")
+    (G.gcd (P.mul (P.pow (p "x + y") 2) (p "z")) (P.mul (p "x + y") (p "w")));
+  check_p "gcd over paper system" (p "x + 3*y")
+    (G.gcd (p "x^2 + 6*x*y + 9*y^2") (p "4*x*y^2 + 12*y^3"));
+  check_p "no shared vars" (p "3") (G.gcd (p "3*x") (p "6*y"))
+
+let test_gcd_zero () =
+  check_p "gcd(0, p)" (p "x + 1") (G.gcd P.zero (p "x + 1"));
+  check_p "gcd(p, 0) normalized" (p "x + 1") (G.gcd (p "-x - 1") P.zero);
+  check_p "gcd(0, 0)" P.zero (G.gcd P.zero P.zero)
+
+let test_gcd_sign () =
+  check_p "negative inputs" (p "x + y") (G.gcd (p "-x - y") (P.mul (p "-x - y") (p "x")))
+
+let test_gcd_list () =
+  check_p "gcd of paper Table 14.1 system" (p "x + 3*y")
+    (G.gcd_list
+       [ p "x^2 + 6*x*y + 9*y^2"; p "4*x*y^2 + 12*y^3"; p "2*x^2*z + 6*x*y*z" ])
+
+let test_content_primitive_in () =
+  let q = p "2*y*x^2 + 4*y^2*x" in
+  check_p "content in x" (p "2*y") (G.content_in "x" q);
+  check_p "primitive in x" (p "x^2 + 2*y*x") (G.primitive_part_in "x" q)
+
+let test_pseudo_rem () =
+  (* prem(x^2 + 1, 2x + 1) = 4*(x^2+1) mod (2x+1) = 5 *)
+  check_p "univariate" (p "5") (G.pseudo_rem "x" (p "x^2 + 1") (p "2*x + 1"));
+  Alcotest.check_raises "degree 0 divisor" Division_by_zero (fun () ->
+      ignore (G.pseudo_rem "x" (p "x") (p "y")))
+
+(* squarefree -------------------------------------------------------------------- *)
+
+let test_squarefree_examples () =
+  (* Example 14.1: u2 = (x+1)(x+2)^2 *)
+  let f = S.squarefree (p "x^3 + 5*x^2 + 8*x + 4") in
+  Alcotest.(check int) "unit" 1 (Z.to_int_exn f.S.unit_part);
+  Alcotest.(check int) "two factors" 2 (List.length f.S.factors);
+  (match f.S.factors with
+   | [ (s1, 1); (s2, 2) ] ->
+     check_p "s1" (p "x + 1") s1;
+     check_p "s2" (p "x + 2") s2
+   | _ -> Alcotest.fail "unexpected factor shape");
+  check_p "expand roundtrip" (p "x^3 + 5*x^2 + 8*x + 4") (S.expand f)
+
+let test_squarefree_example_14_2 () =
+  (* u = 2x^7 - 2x^6 + 24x^5 - 24x^4 + 96x^3 - 96x^2 + 128x - 128
+       = 2 (x-1) (x^2+4)^3 *)
+  let u =
+    p "2*x^7 - 2*x^6 + 24*x^5 - 24*x^4 + 96*x^3 - 96*x^2 + 128*x - 128"
+  in
+  let f = S.squarefree u in
+  Alcotest.(check int) "unit 2" 2 (Z.to_int_exn f.S.unit_part);
+  (match f.S.factors with
+   | [ (s1, 1); (s3, 3) ] ->
+     check_p "s1 = x - 1" (p "x - 1") s1;
+     check_p "s3 = x^2 + 4" (p "x^2 + 4") s3
+   | _ -> Alcotest.fail "unexpected factor shape");
+  check_p "expand" u (S.expand f)
+
+let test_squarefree_example_14_3 () =
+  (* x^6 - 9x^4 + 24x^2 - 16 = (x^2-1)(x^2-4)^2 *)
+  let u = p "x^6 - 9*x^4 + 24*x^2 - 16" in
+  let f = S.squarefree u in
+  (match f.S.factors with
+   | [ (s1, 1); (s2, 2) ] ->
+     check_p "s1" (p "x^2 - 1") s1;
+     check_p "s2" (p "x^2 - 4") s2
+   | _ -> Alcotest.fail "unexpected factor shape");
+  check_p "expand" u (S.expand f)
+
+let test_squarefree_multivariate () =
+  (* (x+y)^2 detection, the motivating symbolic-methods example *)
+  let f = S.squarefree (p "x^2 + 2*x*y + y^2") in
+  (match f.S.factors with
+   | [ (s, 2) ] -> check_p "(x+y)" (p "x + y") s
+   | _ -> Alcotest.fail "expected a single squared factor");
+  (* mixed: y * (x+1)^2, content in one variable *)
+  let g = S.squarefree (p "y*x^2 + 2*y*x + y") in
+  check_p "expand mixed" (p "y*x^2 + 2*y*x + y") (S.expand g);
+  Alcotest.(check bool) "has (x+1)^2" true
+    (List.exists (fun (s, k) -> k = 2 && P.equal s (p "x + 1")) g.S.factors)
+
+let test_squarefree_detects () =
+  Alcotest.(check bool) "squarefree" true (S.is_squarefree (p "x^2 + 3*x + 2"));
+  Alcotest.(check bool) "not squarefree" false
+    (S.is_squarefree (p "x^4 + 7*x^3 + 18*x^2 + 20*x + 8"));
+  Alcotest.(check bool) "constant" true (S.is_squarefree (p "7"));
+  Alcotest.check_raises "zero" (Invalid_argument "Squarefree.squarefree: zero polynomial")
+    (fun () -> ignore (S.squarefree P.zero))
+
+let test_perfect_power () =
+  (match S.perfect_power_root (p "x^2 + 2*x*y + y^2") with
+   | Some (v, 2) -> check_p "root" (p "x + y") v
+   | _ -> Alcotest.fail "expected square");
+  (match S.perfect_power_root (p "x^3 + 3*x^2 + 3*x + 1") with
+   | Some (v, 3) -> check_p "cube root" (p "x + 1") v
+   | _ -> Alcotest.fail "expected cube");
+  (match S.perfect_power_root (p "4*x^2 + 8*x + 4") with
+   | Some (v, 2) -> check_p "root with content" (p "2*x + 2") v
+   | _ -> Alcotest.fail "expected square with content");
+  Alcotest.(check bool) "not a power" true
+    (S.perfect_power_root (p "x^2 + 1") = None);
+  Alcotest.(check bool) "constant" true (S.perfect_power_root (p "9") = None)
+
+let test_integer_root () =
+  let check name n k expect =
+    Alcotest.(check bool) name true
+      (match S.integer_root (Z.of_int n) k with
+       | Some r -> (match expect with Some e -> Z.to_int_exn r = e | None -> false)
+       | None -> expect = None)
+  in
+  check "sqrt 49" 49 2 (Some 7);
+  check "sqrt 50" 50 2 None;
+  check "cbrt -27" (-27) 3 (Some (-3));
+  check "sqrt -4" (-4) 2 None;
+  check "k=1" 17 1 (Some 17);
+  check "root of 0" 0 5 (Some 0)
+
+(* linear factors --------------------------------------------------------------- *)
+
+module LF = Polysynth_factor.Linear_factors
+
+let test_roots_basic () =
+  (* (x - 2)(x + 3) = x^2 + x - 6 *)
+  let rs = LF.roots "x" (p "x^2 + x - 6") in
+  let as_ints = List.map (fun (b, a) -> (Z.to_int_exn b, Z.to_int_exn a)) rs in
+  Alcotest.(check bool) "root 2" true (List.mem (2, 1) as_ints);
+  Alcotest.(check bool) "root -3" true (List.mem (-3, 1) as_ints);
+  Alcotest.(check int) "exactly two" 2 (List.length rs)
+
+let test_roots_rational () =
+  (* (2x - 3)(x + 1) = 2x^2 - x - 3 *)
+  let rs = LF.roots "x" (p "2*x^2 - x - 3") in
+  let as_ints = List.map (fun (b, a) -> (Z.to_int_exn b, Z.to_int_exn a)) rs in
+  Alcotest.(check bool) "root 3/2" true (List.mem (3, 2) as_ints);
+  Alcotest.(check bool) "root -1" true (List.mem (-1, 1) as_ints)
+
+let test_roots_zero_root () =
+  let rs = LF.roots "x" (p "x^3 - x^2") in
+  let as_ints = List.map (fun (b, a) -> (Z.to_int_exn b, Z.to_int_exn a)) rs in
+  Alcotest.(check bool) "root 0" true (List.mem (0, 1) as_ints);
+  Alcotest.(check bool) "root 1" true (List.mem (1, 1) as_ints)
+
+let test_roots_none () =
+  Alcotest.(check int) "x^2+1 has no rational roots" 0
+    (List.length (LF.roots "x" (p "x^2 + 1")))
+
+let test_roots_invalid () =
+  Alcotest.check_raises "multivariate"
+    (Invalid_argument "Linear_factors: polynomial is not univariate")
+    (fun () -> ignore (LF.roots "x" (p "x*y + 1")));
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Linear_factors: zero polynomial") (fun () ->
+      ignore (LF.roots "x" P.zero))
+
+let test_linear_factors_reconstruct () =
+  let u = p "2*x^3 + x^2 - 8*x - 4" in
+  (* = (2x + 1)(x - 2)(x + 2) *)
+  let factors, rest = LF.linear_factors "x" u in
+  let product =
+    List.fold_left
+      (fun acc (f, k) -> P.mul acc (P.pow f k))
+      rest factors
+  in
+  check_p "reconstructs" u product;
+  Alcotest.(check int) "three linear factors" 3
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 factors);
+  Alcotest.(check bool) "(2x + 1) found" true
+    (List.exists (fun (f, _) -> P.equal f (p "2*x + 1")) factors)
+
+let test_linear_factors_multiplicity () =
+  let factors, rest = LF.linear_factors "x" (p "x^3 - 3*x^2 + 3*x - 1") in
+  (match factors with
+   | [ (f, 3) ] -> check_p "(x-1)^3" (p "x - 1") f
+   | _ -> Alcotest.fail "expected (x-1)^3");
+  check_p "rest is 1" P.one rest
+
+(* full factorization ------------------------------------------------------------- *)
+
+module Fp = Polysynth_factor.Fp_poly
+module B = Polysynth_factor.Berlekamp
+module H = Polysynth_factor.Hensel
+module F = Polysynth_factor.Factorize
+
+let test_fp_poly_arith () =
+  let p = 7 in
+  let a = Fp.of_list ~p [ 1; 2; 3 ] and b = Fp.of_list ~p [ 6; 5 ] in
+  Alcotest.(check bool) "mul degree" true (Fp.degree (Fp.mul ~p a b) = 3);
+  let q, r = Fp.divmod ~p a b in
+  Alcotest.(check bool) "divmod invariant" true
+    (Fp.equal a (Fp.add ~p (Fp.mul ~p q b) r));
+  Alcotest.(check int) "inverse" 1 (3 * Fp.inv_mod_p ~p:7 3 mod 7);
+  Alcotest.(check int) "eval" ((1 + 2*3 + 3*9) mod 7) (Fp.eval ~p a 3);
+  let g, s, t = Fp.extended_gcd ~p a b in
+  Alcotest.(check bool) "bezout" true
+    (Fp.equal g (Fp.add ~p (Fp.mul ~p s a) (Fp.mul ~p t b)))
+
+let test_berlekamp_splits () =
+  (* x^2 - 1 = (x-1)(x+1) mod 5 *)
+  let p = 5 in
+  let f = Fp.of_list ~p [ -1; 0; 1 ] in
+  let factors = B.factor ~p f in
+  Alcotest.(check int) "two factors" 2 (List.length factors);
+  Alcotest.(check int) "nullspace dim" 2 (B.nullspace_dimension ~p f);
+  let product = List.fold_left (Fp.mul ~p) Fp.one factors in
+  Alcotest.(check bool) "product" true (Fp.equal (Fp.monic ~p f) product)
+
+let test_berlekamp_irreducible () =
+  (* x^2 + 1 is irreducible mod 7 (7 = 3 mod 4) *)
+  let p = 7 in
+  let f = Fp.of_list ~p [ 1; 0; 1 ] in
+  Alcotest.(check int) "irreducible" 1 (List.length (B.factor ~p f))
+
+let test_hensel_pair () =
+  (* x^2 - 1 = (x-1)(x+1): lift from mod 5 to mod 5^k >= 1000 *)
+  let p = 5 in
+  let f = [| Z.of_int (-1); Z.zero; Z.one |] in
+  let facs = [ Fp.of_list ~p [ -1; 1 ]; Fp.of_list ~p [ 1; 1 ] ] in
+  let lifted, m = H.lift_factors ~p ~target:(Z.of_int 1000) f facs in
+  Alcotest.(check bool) "modulus big enough" true
+    (Z.compare m (Z.of_int 1000) >= 0);
+  let product = List.fold_left (H.mul ~m) [| Z.one |] lifted in
+  Alcotest.(check bool) "f = prod mod m" true
+    (H.pair_lift_check ~p ~m f product [| Z.one |])
+
+let check_factorization s expected_factors =
+  let u = p s in
+  let f = F.factor "x" u in
+  check_p (s ^ " expands") u (F.expand f);
+  Alcotest.(check int)
+    (s ^ " factor count")
+    expected_factors
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 f.F.factors)
+
+let test_factorize_classics () =
+  check_factorization "x^2 - 1" 2;
+  check_factorization "x^2 + 1" 1;
+  check_factorization "6*x^2 + 5*x + 1" 2;
+  check_factorization "x^4 - 1" 3;
+  check_factorization "x^6 - 1" 4;
+  check_factorization "x^4 + 4" 2;
+  check_factorization "x^4 + x^2 + 1" 2;
+  check_factorization "12*x^3 - 44*x^2 + 49*x - 15" 3;
+  check_factorization "x^8 + x^4 + 1" 3
+
+let test_factorize_multiplicities () =
+  let f = F.factor "x" (p "x^4 + 2*x^3 + x^2") in
+  (* x^2 (x+1)^2 *)
+  Alcotest.(check bool) "has x^2" true
+    (List.exists (fun (g, k) -> P.equal g (p "x") && k = 2) f.F.factors);
+  Alcotest.(check bool) "has (x+1)^2" true
+    (List.exists (fun (g, k) -> P.equal g (p "x + 1") && k = 2) f.F.factors)
+
+let test_factorize_paper_example () =
+  (* Example 14.3 continued: the square-free factors are reducible *)
+  let f = F.factor "x" (p "x^6 - 9*x^4 + 24*x^2 - 16") in
+  let flat = List.map (fun (g, k) -> (P.to_string g, k)) f.F.factors in
+  Alcotest.(check bool) "(x-1)" true (List.mem ("x - 1", 1) flat);
+  Alcotest.(check bool) "(x+1)" true (List.mem ("x + 1", 1) flat);
+  Alcotest.(check bool) "(x-2)^2" true (List.mem ("x - 2", 2) flat);
+  Alcotest.(check bool) "(x+2)^2" true (List.mem ("x + 2", 2) flat)
+
+let test_is_irreducible () =
+  Alcotest.(check bool) "x^2+1" true (F.is_irreducible "x" (p "x^2 + 1"));
+  Alcotest.(check bool) "x^2-1" false (F.is_irreducible "x" (p "x^2 - 1"));
+  Alcotest.(check bool) "x^4+1" true (F.is_irreducible "x" (p "x^4 + 1"));
+  Alcotest.(check bool) "cyclotomic 12" true
+    (F.is_irreducible "x" (p "x^4 - x^2 + 1"))
+
+let test_factorize_invalid () =
+  Alcotest.check_raises "multivariate"
+    (Invalid_argument "Factorize: polynomial is not univariate") (fun () ->
+      ignore (F.factor "x" (p "x*y")));
+  Alcotest.check_raises "zero" (Invalid_argument "Factorize: zero polynomial")
+    (fun () -> ignore (F.factor "x" P.zero))
+
+(* resultants -------------------------------------------------------------------- *)
+
+module R = Polysynth_factor.Resultant
+
+let test_resultant_numeric () =
+  (* res(x^2 - 1, x - 2) = f(2) for monic f: 3 *)
+  check_p "res" (p "3") (R.resultant "x" (p "x^2 - 1") (p "x - 2"));
+  (* common factor -> 0 *)
+  check_p "common root" P.zero (R.resultant "x" (p "x^2 - 1") (p "x - 1"))
+
+let test_resultant_multivariate () =
+  (* res_x(x + y, x - y) = -2y *)
+  check_p "res_x" (p "0 - 2*y") (R.resultant "x" (p "x + y") (p "x - y"))
+
+let test_discriminant () =
+  (* disc(x^2 + bx + c) = b^2 - 4c *)
+  check_p "quadratic" (p "b^2 - 4*c") (R.discriminant "x" (p "x^2 + b*x + c"));
+  check_p "double root" P.zero (R.discriminant "x" (p "x^2 - 2*x + 1"));
+  check_p "x^2-1" (p "4") (R.discriminant "x" (p "x^2 - 1"));
+  Alcotest.check_raises "degree 0"
+    (Invalid_argument "Resultant.discriminant: degree < 1") (fun () ->
+      ignore (R.discriminant "x" (p "y + 1")))
+
+let test_determinant () =
+  let m s = p s in
+  let det =
+    R.determinant
+      [| [| m "1"; m "2" |]; [| m "3"; m "4" |] |]
+  in
+  check_p "2x2" (p "0 - 2") det;
+  check_p "singular" P.zero
+    (R.determinant [| [| m "1"; m "2" |]; [| m "2"; m "4" |] |]);
+  check_p "polynomial entries" (p "0 - 2*y")
+    (R.determinant [| [| m "1"; m "y" |]; [| m "1"; m "0 - y" |] |])
+
+let prop_resultant_detects_common_factor =
+  prop "resultant is zero iff gcd is non-trivial" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (map (fun (a, b) -> (a, b)) (pair (int_range (-4) 4) (int_range (-4) 4)))
+           (pair (int_range (-4) 4) (int_range (-4) 4))
+           bool)
+       ~print:(fun _ -> "roots"))
+    (fun (((a, b) : int * int), ((c, d) : int * int), share) ->
+      (* f = (x - a)(x - b), g = (x - c)(x - d) or sharing root a *)
+      let lin r = P.sub (P.var "x") (P.of_int r) in
+      let f = P.mul (lin a) (lin b) in
+      let g = if share then P.mul (lin a) (lin d) else P.mul (lin c) (lin d) in
+      let res = R.resultant "x" f g in
+      let gcd_nontrivial = not (P.is_const (G.gcd f g)) in
+      P.is_zero res = gcd_nontrivial)
+
+(* properties --------------------------------------------------------------------- *)
+
+let gen_linear_product =
+  let open QCheck.Gen in
+  let gen_root = pair (int_range (-5) 5) (int_range 1 3) in
+  list_size (int_range 1 3) gen_root
+  >|= fun roots ->
+  List.fold_left
+    (fun acc (b, a) ->
+      P.mul acc
+        (P.sub (P.mul_scalar (Z.of_int a) (P.var "x")) (P.of_int b)))
+    P.one roots
+
+let gen_factor_product =
+  (* product of 2-3 small factors, some irreducible quadratics *)
+  let open QCheck.Gen in
+  let gen_factor =
+    oneof
+      [
+        (pair (int_range 1 3) (int_range (-4) 4) >|= fun (a, b) ->
+         P.sub (P.mul_scalar (Z.of_int a) (P.var "x")) (P.of_int b));
+        (pair (int_range (-3) 3) (int_range 1 5) >|= fun (b, c) ->
+         P.add_list
+           [ P.pow (P.var "x") 2;
+             P.mul_scalar (Z.of_int b) (P.var "x");
+             P.of_int c ]);
+      ]
+  in
+  list_size (int_range 1 3) gen_factor
+  >|= List.fold_left P.mul P.one
+
+let prop_factorize_expands =
+  prop "factorization expands back" ~count:60
+    (QCheck.make gen_factor_product ~print:P.to_string)
+    (fun u ->
+      QCheck.assume (not (P.is_zero u));
+      let f = F.factor "x" u in
+      P.equal u (F.expand f))
+
+let prop_factors_are_irreducible =
+  prop "emitted factors are irreducible" ~count:40
+    (QCheck.make gen_factor_product ~print:P.to_string)
+    (fun u ->
+      QCheck.assume (not (P.is_zero u) && not (P.is_const u));
+      let f = F.factor "x" u in
+      List.for_all (fun (g, _) -> F.is_irreducible "x" g) f.F.factors)
+
+let prop_linear_factors_found =
+  prop "products of linear factors fully factor" ~count:100
+    (QCheck.make gen_linear_product ~print:P.to_string)
+    (fun u ->
+      let factors, rest = LF.linear_factors "x" u in
+      P.is_const rest
+      && P.equal u
+           (List.fold_left
+              (fun acc (f, k) -> P.mul acc (P.pow f k))
+              rest factors))
+
+let prop_gcd_divides =
+  prop "gcd divides both" arb_pair (fun (a, b) ->
+      let g = G.gcd a b in
+      if P.is_zero g then P.is_zero a && P.is_zero b
+      else P.divides g a && P.divides g b)
+
+let prop_gcd_common_factor =
+  prop "common factor divides gcd" arb_triple (fun (a, b, c) ->
+      QCheck.assume (not (P.is_zero c));
+      QCheck.assume (not (P.is_zero a) || not (P.is_zero b));
+      let g = G.gcd (P.mul a c) (P.mul b c) in
+      P.divides c g)
+
+let prop_gcd_commutes =
+  prop "gcd commutes" arb_pair (fun (a, b) -> P.equal (G.gcd a b) (G.gcd b a))
+
+let prop_squarefree_expand =
+  prop "squarefree expands back" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a));
+      P.equal a (S.expand (S.squarefree a)))
+
+let prop_squarefree_factors_are_squarefree =
+  prop "factors are square-free and coprime" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a));
+      let { S.factors; _ } = S.squarefree a in
+      List.for_all (fun (s, _) -> S.is_squarefree s) factors
+      && begin
+        let rec pairwise = function
+          | [] -> true
+          | (s, _) :: rest ->
+            List.for_all (fun (t, _) -> P.is_const (G.gcd s t)) rest
+            && pairwise rest
+        in
+        pairwise factors
+      end)
+
+let prop_square_detected =
+  prop "p^2 is detected as a perfect power" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a) && not (P.is_const a));
+      match S.perfect_power_root (P.mul a a) with
+      | Some (_, k) -> k >= 2
+      | None -> false)
+
+let prop_perfect_power_expands =
+  prop "perfect_power_root reconstructs" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a) && not (P.is_const a));
+      let sq = P.mul a a in
+      match S.perfect_power_root sq with
+      | Some (v, k) -> P.equal sq (P.pow v k)
+      | None -> false)
+
+let () =
+  Alcotest.run "factor"
+    [
+      ( "gcd",
+        [
+          Alcotest.test_case "univariate" `Quick test_gcd_univariate;
+          Alcotest.test_case "multivariate" `Quick test_gcd_multivariate;
+          Alcotest.test_case "zero cases" `Quick test_gcd_zero;
+          Alcotest.test_case "sign normalization" `Quick test_gcd_sign;
+          Alcotest.test_case "gcd_list" `Quick test_gcd_list;
+          Alcotest.test_case "content/primitive in var" `Quick test_content_primitive_in;
+          Alcotest.test_case "pseudo_rem" `Quick test_pseudo_rem;
+        ] );
+      ( "squarefree",
+        [
+          Alcotest.test_case "example 14.1" `Quick test_squarefree_examples;
+          Alcotest.test_case "example 14.2" `Quick test_squarefree_example_14_2;
+          Alcotest.test_case "example 14.3" `Quick test_squarefree_example_14_3;
+          Alcotest.test_case "multivariate" `Quick test_squarefree_multivariate;
+          Alcotest.test_case "is_squarefree" `Quick test_squarefree_detects;
+          Alcotest.test_case "perfect powers" `Quick test_perfect_power;
+          Alcotest.test_case "integer roots" `Quick test_integer_root;
+        ] );
+      ( "linear_factors",
+        [
+          Alcotest.test_case "basic roots" `Quick test_roots_basic;
+          Alcotest.test_case "rational roots" `Quick test_roots_rational;
+          Alcotest.test_case "zero root" `Quick test_roots_zero_root;
+          Alcotest.test_case "no roots" `Quick test_roots_none;
+          Alcotest.test_case "invalid input" `Quick test_roots_invalid;
+          Alcotest.test_case "reconstruct" `Quick test_linear_factors_reconstruct;
+          Alcotest.test_case "multiplicity" `Quick test_linear_factors_multiplicity;
+        ] );
+      ( "factorize",
+        [
+          Alcotest.test_case "fp_poly arithmetic" `Quick test_fp_poly_arith;
+          Alcotest.test_case "berlekamp splits" `Quick test_berlekamp_splits;
+          Alcotest.test_case "berlekamp irreducible" `Quick
+            test_berlekamp_irreducible;
+          Alcotest.test_case "hensel pair" `Quick test_hensel_pair;
+          Alcotest.test_case "classic factorizations" `Quick
+            test_factorize_classics;
+          Alcotest.test_case "multiplicities" `Quick
+            test_factorize_multiplicities;
+          Alcotest.test_case "paper example 14.3" `Quick
+            test_factorize_paper_example;
+          Alcotest.test_case "irreducibility" `Quick test_is_irreducible;
+          Alcotest.test_case "invalid input" `Quick test_factorize_invalid;
+        ] );
+      ( "resultant",
+        [
+          Alcotest.test_case "numeric" `Quick test_resultant_numeric;
+          Alcotest.test_case "multivariate" `Quick test_resultant_multivariate;
+          Alcotest.test_case "discriminant" `Quick test_discriminant;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          prop_resultant_detects_common_factor;
+        ] );
+      ( "properties",
+        [
+          prop_factorize_expands;
+          prop_factors_are_irreducible;
+          prop_linear_factors_found;
+          prop_gcd_divides;
+          prop_gcd_common_factor;
+          prop_gcd_commutes;
+          prop_squarefree_expand;
+          prop_squarefree_factors_are_squarefree;
+          prop_square_detected;
+          prop_perfect_power_expands;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+module Z = Polysynth_zint.Zint
+module Mono = Polysynth_poly.Monomial
+module P = Polysynth_poly.Poly
+module Parse = Polysynth_poly.Parse
+
+let poly = Alcotest.testable P.pp P.equal
+let check_p = Alcotest.check poly
+let mono = Alcotest.testable Mono.pp Mono.equal
+
+let p = Parse.poly
+
+(* random polynomial generator ---------------------------------------------- *)
+
+let gen_poly =
+  let open QCheck.Gen in
+  let gen_mono =
+    list_size (int_range 0 3)
+      (pair (oneofl [ "x"; "y"; "z"; "w" ]) (int_range 1 3))
+    >|= Mono.of_list
+  in
+  let gen_term = pair (int_range (-9) 9) gen_mono in
+  list_size (int_range 0 6) gen_term
+  >|= fun terms ->
+  P.of_terms (List.map (fun (c, m) -> (Z.of_int c, m)) terms)
+
+let arb_poly = QCheck.make gen_poly ~print:P.to_string
+
+let env_of_list bindings v =
+  match List.assoc_opt v bindings with Some n -> Z.of_int n | None -> Z.zero
+
+let gen_env =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> [ ("x", a); ("y", b); ("z", c); ("w", d) ])
+      (quad (int_range (-10) 10) (int_range (-10) 10) (int_range (-10) 10)
+         (int_range (-10) 10)))
+
+let arb_two_polys_env =
+  QCheck.make
+    QCheck.Gen.(triple gen_poly gen_poly gen_env)
+    ~print:(fun (a, b, _) -> P.to_string a ^ " || " ^ P.to_string b)
+
+let prop name ?(count = 300) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* monomial tests ------------------------------------------------------------ *)
+
+let test_mono_of_list () =
+  Alcotest.check mono "combine dups" (Mono.of_list [ ("x", 3) ])
+    (Mono.of_list [ ("x", 1); ("x", 2) ]);
+  Alcotest.check mono "drop zero" Mono.one (Mono.of_list [ ("x", 0) ]);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Monomial.of_list: negative exponent") (fun () ->
+      ignore (Mono.of_list [ ("x", -1) ]))
+
+let test_mono_order () =
+  let m s = (Parse.poly s |> P.leading |> snd) in
+  Alcotest.(check bool) "deg dominates" true (Mono.compare (m "x*y*z") (m "x^2") > 0);
+  Alcotest.(check bool) "x^2 > x*y" true (Mono.compare (m "x^2") (m "x*y") > 0);
+  Alcotest.(check bool) "x*y > x*z" true (Mono.compare (m "x*y") (m "x*z") > 0);
+  Alcotest.(check bool) "1 minimal" true (Mono.compare Mono.one (m "x") < 0);
+  Alcotest.(check int) "reflexive" 0 (Mono.compare (m "x*y^2") (m "x*y^2"))
+
+let test_mono_div () =
+  let m l = Mono.of_list l in
+  Alcotest.(check bool) "divides" true
+    (Mono.divides (m [ ("x", 1) ]) (m [ ("x", 2); ("y", 1) ]));
+  Alcotest.(check bool) "not divides" false
+    (Mono.divides (m [ ("z", 1) ]) (m [ ("x", 2) ]));
+  (match Mono.div (m [ ("x", 2); ("y", 1) ]) (m [ ("x", 1) ]) with
+   | Some q -> Alcotest.check mono "quotient" (m [ ("x", 1); ("y", 1) ]) q
+   | None -> Alcotest.fail "expected divisible");
+  Alcotest.(check bool) "div fails" true
+    (Mono.div (m [ ("x", 1) ]) (m [ ("y", 1) ]) = None)
+
+let test_mono_gcd_lcm () =
+  let m l = Mono.of_list l in
+  Alcotest.check mono "gcd"
+    (m [ ("x", 1); ("y", 1) ])
+    (Mono.gcd (m [ ("x", 2); ("y", 1) ]) (m [ ("x", 1); ("y", 3); ("z", 1) ]));
+  Alcotest.check mono "lcm"
+    (m [ ("x", 2); ("y", 3); ("z", 1) ])
+    (Mono.lcm (m [ ("x", 2); ("y", 1) ]) (m [ ("x", 1); ("y", 3); ("z", 1) ]))
+
+(* polynomial tests ----------------------------------------------------------- *)
+
+let test_construction () =
+  check_p "zero const" P.zero (P.const Z.zero);
+  check_p "of_terms combines" (p "2*x")
+    (P.of_terms [ (Z.one, Mono.var "x"); (Z.one, Mono.var "x") ]);
+  check_p "of_terms cancels" P.zero
+    (P.of_terms [ (Z.one, Mono.var "x"); (Z.of_int (-1), Mono.var "x") ]);
+  Alcotest.(check int) "num_terms" 3 (P.num_terms (p "x^2 + x + 1"))
+
+let test_arith_examples () =
+  check_p "(x+y)^2" (p "x^2 + 2*x*y + y^2") (P.pow (p "x + y") 2);
+  check_p "(x+y)*(x-y)" (p "x^2 - y^2") (P.mul (p "x + y") (p "x - y"));
+  check_p "sub self" P.zero (P.sub (p "3*x*y - 7") (p "3*x*y - 7"))
+
+let test_degree () =
+  Alcotest.(check int) "total degree" 4 (P.degree (p "x^2*y^2 + x^3"));
+  Alcotest.(check int) "zero degree" (-1) (P.degree P.zero);
+  Alcotest.(check int) "degree_in x" 2 (P.degree_in "x" (p "x^2*y^2 + y^3"));
+  Alcotest.(check int) "degree_in absent" 0 (P.degree_in "q" (p "x^2"));
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (P.vars (p "x^2*y + y - 4"))
+
+let test_leading () =
+  let c, m = P.leading (p "3*x*y^2 - 5*x^3 + 2") in
+  Alcotest.(check int) "leading coeff" (-5) (Z.to_int_exn c);
+  Alcotest.check mono "leading mono" (Mono.var ~exp:3 "x") m
+
+let test_div_rem () =
+  let check_invariant a b =
+    let q, r = P.div_rem a b in
+    check_p (P.to_string a ^ " / " ^ P.to_string b) a (P.add (P.mul q b) r)
+  in
+  check_invariant (p "x^2 + 2*x*y + y^2") (p "x + y");
+  check_invariant (p "x^3 - 1") (p "x - 1");
+  check_invariant (p "x^2 + y") (p "z + 1");
+  check_invariant (p "5*x^2 + 3") (p "2*x");
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (P.div_rem (p "x") P.zero))
+
+let test_div_exact () =
+  (match P.div_exact (p "x^2 + 2*x*y + y^2") (p "x + y") with
+   | Some q -> check_p "(x+y)^2/(x+y)" (p "x + y") q
+   | None -> Alcotest.fail "expected exact");
+  (match P.div_exact (p "4*x*y^2 + 12*y^3") (p "x + 3*y") with
+   | Some q -> check_p "4y^2" (p "4*y^2") q
+   | None -> Alcotest.fail "expected exact");
+  Alcotest.(check bool) "inexact" true (P.div_exact (p "x^2 + 1") (p "x + 1") = None);
+  Alcotest.(check bool) "divides" true (P.divides (p "x + y") (p "x^2 - y^2"));
+  Alcotest.(check bool) "not divides" false (P.divides (p "x + y") (p "x^2 + y^2"))
+
+let test_content_primitive () =
+  Alcotest.(check int) "content" 6 (Z.to_int_exn (P.content (p "6*x + 12*y - 18")));
+  check_p "primitive part" (p "x + 2*y - 3") (P.primitive_part (p "6*x + 12*y - 18"));
+  check_p "primitive of negative leading" (p "x - 2")
+    (P.primitive_part (p "4 - 2*x"));
+  Alcotest.(check int) "content zero" 0 (Z.to_int_exn (P.content P.zero))
+
+let test_derivative () =
+  check_p "d/dx" (p "2*x*y + 3*x^2") (P.derivative "x" (p "x^2*y + x^3 + y^2"));
+  check_p "d/dz absent" P.zero (P.derivative "z" (p "x^2 + y"))
+
+let test_subst () =
+  check_p "x := y+1 in x^2"
+    (p "y^2 + 2*y + 1")
+    (P.subst "x" (p "y + 1") (p "x^2"));
+  check_p "shift" (p "x^2 + 2*x + 1") (P.shift [ ("x", Z.one) ] (p "x^2"));
+  check_p "eval_partial"
+    (p "4*y + 3")
+    (P.eval_partial [ ("x", Z.of_int 2) ] (p "x^2*y + x + 1"))
+
+let test_coeffs_in () =
+  let cs = P.coeffs_in "x" (p "3*x^2*y + x^2 + 5*x - y + 2") in
+  Alcotest.(check int) "three degrees" 3 (List.length cs);
+  (match List.assoc_opt 2 cs with
+   | Some c -> check_p "x^2 coefficient" (p "3*y + 1") c
+   | None -> Alcotest.fail "missing degree 2");
+  check_p "roundtrip" (p "3*x^2*y + x^2 + 5*x - y + 2")
+    (P.of_coeffs_in "x" cs)
+
+let test_to_string () =
+  Alcotest.(check string) "pretty" "3*x^2*y - x + 7" (P.to_string (p "3*x^2*y - x + 7"));
+  Alcotest.(check string) "leading minus" "-x + 1" (P.to_string (p "1 - x"));
+  Alcotest.(check string) "zero" "0" (P.to_string P.zero)
+
+(* parser tests --------------------------------------------------------------- *)
+
+let test_parse_examples () =
+  check_p "paper F"
+    (P.add_list
+       [ P.mul_scalar (Z.of_int 4) (P.mul (P.pow (P.var "x") 2) (P.pow (P.var "y") 2));
+         P.mul_scalar (Z.of_int (-4)) (P.mul (P.pow (P.var "x") 2) (P.var "y"));
+         P.mul_scalar (Z.of_int (-4)) (P.mul (P.var "x") (P.pow (P.var "y") 2));
+         P.mul_scalar (Z.of_int 4) (P.mul (P.var "x") (P.var "y"));
+         P.mul_scalar (Z.of_int 5) (P.mul (P.pow (P.var "z") 2) (P.var "x"));
+         P.mul_scalar (Z.of_int (-5)) (P.mul (P.var "z") (P.var "x")) ])
+    (p "4*x^2*y^2 - 4*x^2*y - 4*x*y^2 + 4*x*y + 5*z^2*x - 5*z*x");
+  check_p "parens and pow" (p "x^2 + 6*x*y + 9*y^2") (p "(x + 3*y)^2");
+  check_p "unary minus" (p "0 - x - y") (p "-x - y");
+  check_p "nested" (p "2*x^2 + 2*x*y") (p "2*x*(x + y)")
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.poly s with
+    | exception Parse.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for " ^ s)
+  in
+  bad "x +";
+  bad "(x";
+  bad "x ^ y";
+  bad "x $ y";
+  bad "";
+  bad "x x"
+
+let test_parse_system () =
+  let polys = Parse.system "x + y; x - y\n # comment line\n z^2 # trailing" in
+  Alcotest.(check int) "three polys" 3 (List.length polys);
+  check_p "third" (p "z^2") (List.nth polys 2)
+
+(* properties ------------------------------------------------------------------ *)
+
+let prop_eval_hom_add =
+  prop "eval is additive" arb_two_polys_env (fun (a, b, env) ->
+      let e = env_of_list env in
+      Z.equal (P.eval e (P.add a b)) (Z.add (P.eval e a) (P.eval e b)))
+
+let prop_eval_hom_mul =
+  prop "eval is multiplicative" arb_two_polys_env (fun (a, b, env) ->
+      let e = env_of_list env in
+      Z.equal (P.eval e (P.mul a b)) (Z.mul (P.eval e a) (P.eval e b)))
+
+let prop_ring_axioms =
+  prop "ring axioms" QCheck.(triple arb_poly arb_poly arb_poly)
+    (fun (a, b, c) ->
+      P.equal (P.add a b) (P.add b a)
+      && P.equal (P.mul a b) (P.mul b a)
+      && P.equal (P.mul a (P.add b c)) (P.add (P.mul a b) (P.mul a c))
+      && P.equal (P.mul (P.mul a b) c) (P.mul a (P.mul b c)))
+
+let prop_div_rem_invariant =
+  prop "a = q*b + r" QCheck.(pair arb_poly arb_poly) (fun (a, b) ->
+      QCheck.assume (not (P.is_zero b));
+      let q, r = P.div_rem a b in
+      P.equal a (P.add (P.mul q b) r))
+
+let prop_div_exact_product =
+  prop "div_exact recovers factor" QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) ->
+      QCheck.assume (not (P.is_zero b));
+      match P.div_exact (P.mul a b) b with
+      | Some q -> P.equal q a
+      | None -> false)
+
+let prop_parse_roundtrip =
+  prop "to_string/parse roundtrip" arb_poly (fun a ->
+      P.equal a (Parse.poly (P.to_string a)))
+
+let prop_primitive_content =
+  prop "p = content * primitive (up to sign)" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a));
+      let c = P.content a in
+      let pp_ = P.primitive_part a in
+      P.equal a (P.mul_scalar c pp_)
+      || P.equal a (P.mul_scalar (Z.neg c) pp_))
+
+let prop_derivative_linear =
+  prop "derivative is linear" QCheck.(pair arb_poly arb_poly) (fun (a, b) ->
+      P.equal
+        (P.derivative "x" (P.add a b))
+        (P.add (P.derivative "x" a) (P.derivative "x" b)))
+
+let prop_derivative_product =
+  prop "Leibniz rule" QCheck.(pair arb_poly arb_poly) (fun (a, b) ->
+      P.equal
+        (P.derivative "x" (P.mul a b))
+        (P.add (P.mul (P.derivative "x" a) b) (P.mul a (P.derivative "x" b))))
+
+let prop_coeffs_roundtrip =
+  prop "coeffs_in roundtrip" arb_poly (fun a ->
+      P.equal a (P.of_coeffs_in "x" (P.coeffs_in "x" a)))
+
+let prop_pp_parses_back =
+  prop "to_string output parses back" arb_poly (fun a ->
+      P.equal a (Parse.poly (P.to_string a)))
+
+let prop_div_rem_remainder_irreducible =
+  prop "no remainder term is reducible by the divisor's leading term"
+    QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) ->
+      QCheck.assume (not (P.is_zero b));
+      let _, r = P.div_rem a b in
+      let cb, mb = P.leading b in
+      List.for_all
+        (fun (cr, mr) ->
+          not (Mono.divides mb mr && Z.divides cb cr))
+        (P.terms r))
+
+let prop_shift_unshift =
+  prop "shift by c then -c is identity" arb_poly (fun a ->
+      let shifted = P.shift [ ("x", Z.of_int 3) ] a in
+      P.equal a (P.shift [ ("x", Z.of_int (-3)) ] shifted))
+
+let prop_pow_adds_degrees =
+  prop "degree of p^2 = 2 * degree p" arb_poly (fun a ->
+      QCheck.assume (not (P.is_zero a));
+      P.degree (P.pow a 2) = 2 * P.degree a)
+
+let prop_coeffs_in_any_var =
+  prop "coeffs_in roundtrip in y" arb_poly (fun a ->
+      P.equal a (P.of_coeffs_in "y" (P.coeffs_in "y" a)))
+
+let prop_subst_eval_commute =
+  prop "subst commutes with eval" arb_two_polys_env (fun (a, q, env) ->
+      let e = env_of_list env in
+      let direct = P.eval e (P.subst "x" q a) in
+      let e' v = if String.equal v "x" then P.eval e q else e v in
+      Z.equal direct (P.eval e' a))
+
+let () =
+  Alcotest.run "poly"
+    [
+      ( "monomial",
+        [
+          Alcotest.test_case "of_list" `Quick test_mono_of_list;
+          Alcotest.test_case "order" `Quick test_mono_order;
+          Alcotest.test_case "div" `Quick test_mono_div;
+          Alcotest.test_case "gcd lcm" `Quick test_mono_gcd_lcm;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "arith examples" `Quick test_arith_examples;
+          Alcotest.test_case "degree" `Quick test_degree;
+          Alcotest.test_case "leading" `Quick test_leading;
+          Alcotest.test_case "div_rem" `Quick test_div_rem;
+          Alcotest.test_case "div_exact" `Quick test_div_exact;
+          Alcotest.test_case "content/primitive" `Quick test_content_primitive;
+          Alcotest.test_case "derivative" `Quick test_derivative;
+          Alcotest.test_case "subst" `Quick test_subst;
+          Alcotest.test_case "coeffs_in" `Quick test_coeffs_in;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "examples" `Quick test_parse_examples;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "system" `Quick test_parse_system;
+        ] );
+      ( "properties",
+        [
+          prop_eval_hom_add;
+          prop_eval_hom_mul;
+          prop_ring_axioms;
+          prop_div_rem_invariant;
+          prop_div_exact_product;
+          prop_parse_roundtrip;
+          prop_primitive_content;
+          prop_derivative_linear;
+          prop_derivative_product;
+          prop_coeffs_roundtrip;
+          prop_pp_parses_back;
+          prop_div_rem_remainder_irreducible;
+          prop_shift_unshift;
+          prop_pow_adds_degrees;
+          prop_coeffs_in_any_var;
+          prop_subst_eval_commute;
+        ] );
+    ]
