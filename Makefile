@@ -1,0 +1,27 @@
+# Development / CI entry points.
+#
+#   make ci      build + full test suite + format check + benchmark smoke
+#   make build   compile everything
+#   make test    run the alcotest/qcheck suites
+#   make fmt     check formatting (skipped when ocamlformat is absent)
+#   make bench   quick benchmark smoke run (tables + short timings)
+
+.PHONY: ci build test fmt bench
+
+ci: build test fmt bench
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe -- --quick

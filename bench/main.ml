@@ -13,7 +13,7 @@ module Squarefree = Polysynth_factor.Squarefree
 module Extract = Polysynth_cse.Extract
 module Kernel = Polysynth_cse.Kernel
 module Cce = Polysynth_core.Cce
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module Ex = Polysynth_workloads.Examples
 module B = Polysynth_workloads.Benchmarks
 
@@ -105,13 +105,36 @@ let test_stage_extraction =
   Test.make ~name:"stage_extraction"
     (stage (fun () -> ignore (Extract.run ~mode:Extract.Vars_only sg3)))
 
+(* engine configurations: the cache is disabled so every iteration measures a
+   full representation build rather than a memo lookup *)
+let engine_config ~parallelism =
+  { (Engine.Config.default ~width:16) with
+    Engine.Config.parallelism;
+    cache = false }
+
 let test_pipeline_mvcs =
-  Test.make ~name:"pipeline_proposed_mvcs"
-    (stage (fun () -> ignore (Pipe.run ~width:16 Pipe.Proposed mvcs)))
+  Test.make ~name:"engine_proposed_mvcs"
+    (stage (fun () ->
+         ignore (Engine.run (engine_config ~parallelism:1) Engine.Proposed mvcs)))
 
 let test_pipeline_table_14_1 =
-  Test.make ~name:"pipeline_proposed_14_1"
-    (stage (fun () -> ignore (Pipe.run ~width:16 Pipe.Proposed Ex.table_14_1)))
+  Test.make ~name:"engine_proposed_14_1"
+    (stage (fun () ->
+         ignore
+           (Engine.run (engine_config ~parallelism:1) Engine.Proposed
+              Ex.table_14_1)))
+
+(* sequential vs parallel fan-out over the 9-polynomial SG 3x2 system; on a
+   single-core host the two coincide (the engine falls back to List.map) *)
+let test_engine_sequential =
+  Test.make ~name:"engine_sg3_sequential"
+    (stage (fun () ->
+         ignore (Engine.run (engine_config ~parallelism:1) Engine.Proposed sg3)))
+
+let test_engine_parallel =
+  Test.make ~name:"engine_sg3_parallel"
+    (stage (fun () ->
+         ignore (Engine.run (engine_config ~parallelism:0) Engine.Proposed sg3)))
 
 let test_stage_kcm =
   Test.make ~name:"stage_kcm_extraction"
@@ -133,6 +156,8 @@ let tests =
       test_stage_kcm;
       test_pipeline_mvcs;
       test_pipeline_table_14_1;
+      test_engine_sequential;
+      test_engine_parallel;
     ]
 
 let () =

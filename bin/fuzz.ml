@@ -17,6 +17,7 @@ module Mcm = Polysynth_hw.Mcm
 module Schedule = Polysynth_hw.Schedule
 module Bind = Polysynth_hw.Bind
 module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module Rand = Polysynth_workloads.Random_system
 
 type rng = { mutable state : int }
@@ -60,7 +61,9 @@ let () =
           Printf.printf "FAIL (seed %d): %s\n%!" seed msg)
         fmt
     in
-    let reports = Pipe.compare_methods ~width system in
+    let reports, _trace =
+      Engine.compare_methods (Engine.Config.default ~width) system
+    in
     (* 1. symbolic exactness of every method *)
     List.iter
       (fun r ->

@@ -21,135 +21,220 @@ module Prog_parse = Polysynth_expr.Prog_parse
 module Stage = Polysynth_hw.Stage
 module Fsmd = Polysynth_hw.Fsmd
 module Schedule = Polysynth_hw.Schedule
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module Search = Polysynth_core.Search
 
 open Cmdliner
+
+(* ---- one record instead of seventeen positional parameters ------------ *)
+
+type options = {
+  input : string;
+  method_name : Engine.method_name;
+  width : int;
+  use_ring : bool;
+  objective : Search.objective;
+  jobs : int;
+  time_budget : float option;
+  candidate_budget : int option;
+  no_cache : bool;
+  verilog_out : string option;
+  dot_out : string option;
+  testbench_out : string option;
+  fsmd_out : string option;
+  c_out : string option;
+  use_mcm : bool;
+  show_power : bool;
+  show_range : bool;
+  pipeline_period : float option;
+  show_program : bool;
+  compare_all : bool;
+  evaluate : bool;
+  json : bool;
+  show_trace : bool;
+}
+
+let config_of options =
+  let ctx =
+    if options.use_ring then Some (Ring.make_ctx ~out_width:options.width ())
+    else None
+  in
+  {
+    (Engine.Config.default ~width:options.width) with
+    Engine.Config.ctx;
+    objective = options.objective;
+    parallelism = options.jobs;
+    time_budget = options.time_budget;
+    candidate_budget = options.candidate_budget;
+    cache = not options.no_cache;
+  }
 
 let read_input = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let evaluate_program input width =
-  match Prog_parse.program (read_input input) with
-  | exception Prog_parse.Parse_error msg ->
+(* ---- JSON report ------------------------------------------------------ *)
+
+let json_of_report (r : Engine.report) =
+  Printf.sprintf
+    {|{"method":"%s","mults":%d,"adds":%d,"area":%d,"delay":%.3f,"labels":[%s]}|}
+    (Engine.method_label r.Engine.method_name)
+    r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds r.Engine.cost.Cost.area
+    r.Engine.cost.Cost.delay
+    (String.concat ","
+       (List.map (fun l -> Engine.Trace.json_string l) r.Engine.labels))
+
+let print_json ~options ~verified reports trace =
+  Printf.printf
+    {|{"width":%d,"ring":%b,"verified":%b,"reports":[%s],"trace":%s}|}
+    options.width options.use_ring verified
+    (String.concat "," (List.map json_of_report reports))
+    (Engine.Trace.to_json trace);
+  print_newline ()
+
+(* ---- evaluate mode ----------------------------------------------------- *)
+
+let evaluate_program options text =
+  match Prog_parse.program text with
+  | Error (`Parse msg) ->
     Printf.eprintf "program error: %s\n" msg;
     1
-  | prog ->
-    let cost = Polysynth_hw.Cost.of_prog ~width prog in
+  | Ok prog ->
+    let width = options.width in
+    let cost = Cost.of_prog ~width prog in
     let counts = Prog.counts prog in
     Printf.printf "given decomposition: MULT=%d ADD=%d area=%d delay=%.1f\n"
       counts.Dag.mults counts.Dag.adds cost.Cost.area cost.Cost.delay;
     (* re-synthesize the expanded system for comparison *)
     let system = List.map snd (Prog.to_polys prog) in
-    let r = Pipe.run ~width Pipe.Proposed system in
+    let r, _trace =
+      Engine.run (config_of options) Engine.Proposed system
+    in
     Printf.printf "proposed flow:       MULT=%d ADD=%d area=%d delay=%.1f\n"
-      r.Pipe.counts.Dag.mults r.Pipe.counts.Dag.adds r.Pipe.cost.Cost.area
-      r.Pipe.cost.Cost.delay;
-    if r.Pipe.cost.Cost.area < cost.Cost.area then
-      Format.printf "better decomposition found:@.%a@." Prog.pp r.Pipe.prog;
+      r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds
+      r.Engine.cost.Cost.area r.Engine.cost.Cost.delay;
+    if r.Engine.cost.Cost.area < cost.Cost.area then
+      Format.printf "better decomposition found:@.%a@." Prog.pp r.Engine.prog;
     0
 
-let run_synthesis input method_name width use_ring objective verilog_out
-    dot_out testbench_out fsmd_out c_out use_mcm show_power show_range
-    pipeline_period show_program compare_all evaluate =
-  if evaluate then evaluate_program input width
+(* ---- synthesis mode ---------------------------------------------------- *)
+
+let run_synthesis options =
+  match read_input options.input with
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | text ->
+  if options.evaluate then evaluate_program options text
   else
-  match Parse.system (read_input input) with
-  | exception Parse.Parse_error msg ->
-    Printf.eprintf "parse error %s\n" msg;
-    1
-  | [] ->
-    Printf.eprintf "no polynomials in input\n";
-    1
-  | polys ->
-    let ctx = if use_ring then Some (Ring.make_ctx ~out_width:width ()) else None in
-    let options = { (Search.default_options ~width) with Search.objective } in
-    let print_report r =
-      Printf.printf "%-12s MULT=%d ADD=%d area=%d delay=%.1f%s\n"
-        (Pipe.method_label r.Pipe.method_name)
-        r.Pipe.counts.Dag.mults r.Pipe.counts.Dag.adds r.Pipe.cost.Cost.area
-        r.Pipe.cost.Cost.delay
-        (match r.Pipe.labels with
-         | [] -> ""
-         | labels -> "  [" ^ String.concat "," labels ^ "]")
-    in
-    let reports =
-      if compare_all then Pipe.compare_methods ?ctx ~options ~width polys
-      else [ Pipe.run ?ctx ~options ~width method_name polys ]
-    in
-    List.iter print_report reports;
-    let main_report = List.nth reports (List.length reports - 1) in
-    let verified = Pipe.verify ?ctx polys main_report.Pipe.prog in
-    Printf.printf "verified: %b%s\n" verified
-      (if use_ring then " (as bit-vector functions)" else " (exact)");
-    if show_program then
-      Format.printf "@.program:@.%a@." Prog.pp main_report.Pipe.prog;
-    let netlist =
-      lazy
-        (let n = Netlist.of_prog ~width main_report.Pipe.prog in
-         if use_mcm then Mcm.optimize n else n)
-    in
-    if use_mcm then begin
-      let r = Cost.of_netlist (Lazy.force netlist) in
-      Printf.printf "after MCM: area=%d delay=%.1f\n" r.Cost.area r.Cost.delay
-    end;
-    if show_power then begin
-      let p = Power.estimate (Lazy.force netlist) in
-      Format.printf "%a@." Power.pp_report p
-    end;
-    (match pipeline_period with
-     | None -> ()
-     | Some period ->
-       let st = Stage.cut ~target_period:period (Lazy.force netlist) in
-       Printf.printf
-         "pipelining at period %.1f: %d stage(s), %d pipeline register(s), \
-          achieved period %.1f\n"
-         period st.Stage.num_stages st.Stage.pipeline_registers
-         st.Stage.achieved_period);
-    if show_range then begin
-      let n = Lazy.force netlist in
-      Printf.printf
-        "range analysis: widest intermediate needs %d bits (growth %d over \
-         the %d-bit datapath)\n"
-        (Range.max_required_width n) (Range.growth n) width
-    end;
-    let write path contents =
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc contents);
-      Printf.printf "wrote %s\n" path
-    in
-    (match verilog_out with
-     | None -> ()
-     | Some path ->
-       write path
-         (Verilog.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
-    (match dot_out with
-     | None -> ()
-     | Some path -> write path (Dot.of_netlist (Lazy.force netlist)));
-    (match fsmd_out with
-     | None -> ()
-     | Some path ->
-       let fsmd =
-         Fsmd.build { Schedule.multipliers = 1; adders = 1 } (Lazy.force netlist)
-       in
-       Printf.printf
-         "fsmd: %d states, %d registers, %d micro-ops (1 multiplier, 1 adder)\n"
-         fsmd.Fsmd.num_states fsmd.Fsmd.num_registers
-         (List.length fsmd.Fsmd.micro_ops);
-       write path (Fsmd.to_verilog ~module_name:"polysynth_fsmd" fsmd));
-    (match testbench_out with
-     | None -> ()
-     | Some path ->
-       write path
-         (Testbench.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
-    (match c_out with
-     | None -> ()
-     | Some path ->
-       write path
-         (Cemit.emit ~func_name:"polysynth_dut" ~self_check:16
-            (Lazy.force netlist)));
-    if verified then 0 else 2
+    match Parse.system text with
+    | Error (`Parse msg) ->
+      Printf.eprintf "parse error %s\n" msg;
+      1
+    | Ok [] ->
+      Printf.eprintf "no polynomials in input\n";
+      1
+    | Ok polys ->
+      let config = config_of options in
+      let reports, trace =
+        if options.compare_all then Engine.compare_methods config polys
+        else
+          let r, t = Engine.run config options.method_name polys in
+          ([ r ], t)
+      in
+      let main_report = List.nth reports (List.length reports - 1) in
+      let verified =
+        Engine.verify ?ctx:config.Engine.Config.ctx polys
+          main_report.Engine.prog
+      in
+      let print_report r =
+        Printf.printf "%-12s MULT=%d ADD=%d area=%d delay=%.1f%s\n"
+          (Engine.method_label r.Engine.method_name)
+          r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds
+          r.Engine.cost.Cost.area r.Engine.cost.Cost.delay
+          (match r.Engine.labels with
+           | [] -> ""
+           | labels -> "  [" ^ String.concat "," labels ^ "]")
+      in
+      if options.json then print_json ~options ~verified reports trace
+      else begin
+        List.iter print_report reports;
+        Printf.printf "verified: %b%s\n" verified
+          (if options.use_ring then " (as bit-vector functions)" else " (exact)");
+        if options.show_trace then print_string (Engine.Trace.to_text trace)
+      end;
+      let width = options.width in
+      if options.show_program then
+        Format.printf "@.program:@.%a@." Prog.pp main_report.Engine.prog;
+      let netlist =
+        lazy
+          (let n = Netlist.of_prog ~width main_report.Engine.prog in
+           if options.use_mcm then Mcm.optimize n else n)
+      in
+      if options.use_mcm && not options.json then begin
+        let r = Cost.of_netlist (Lazy.force netlist) in
+        Printf.printf "after MCM: area=%d delay=%.1f\n" r.Cost.area r.Cost.delay
+      end;
+      if options.show_power then begin
+        let p = Power.estimate (Lazy.force netlist) in
+        Format.printf "%a@." Power.pp_report p
+      end;
+      (match options.pipeline_period with
+       | None -> ()
+       | Some period ->
+         let st = Stage.cut ~target_period:period (Lazy.force netlist) in
+         Printf.printf
+           "pipelining at period %.1f: %d stage(s), %d pipeline register(s), \
+            achieved period %.1f\n"
+           period st.Stage.num_stages st.Stage.pipeline_registers
+           st.Stage.achieved_period);
+      if options.show_range then begin
+        let n = Lazy.force netlist in
+        Printf.printf
+          "range analysis: widest intermediate needs %d bits (growth %d over \
+           the %d-bit datapath)\n"
+          (Range.max_required_width n) (Range.growth n) width
+      end;
+      let write path contents =
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc contents);
+        Printf.printf "wrote %s\n" path
+      in
+      (match options.verilog_out with
+       | None -> ()
+       | Some path ->
+         write path
+           (Verilog.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
+      (match options.dot_out with
+       | None -> ()
+       | Some path -> write path (Dot.of_netlist (Lazy.force netlist)));
+      (match options.fsmd_out with
+       | None -> ()
+       | Some path ->
+         let fsmd =
+           Fsmd.build
+             { Schedule.multipliers = 1; adders = 1 }
+             (Lazy.force netlist)
+         in
+         Printf.printf
+           "fsmd: %d states, %d registers, %d micro-ops (1 multiplier, 1 adder)\n"
+           fsmd.Fsmd.num_states fsmd.Fsmd.num_registers
+           (List.length fsmd.Fsmd.micro_ops);
+         write path (Fsmd.to_verilog ~module_name:"polysynth_fsmd" fsmd));
+      (match options.testbench_out with
+       | None -> ()
+       | Some path ->
+         write path
+           (Testbench.emit ~module_name:"polysynth_dut" (Lazy.force netlist)));
+      (match options.c_out with
+       | None -> ()
+       | Some path ->
+         write path
+           (Cemit.emit ~func_name:"polysynth_dut" ~self_check:16
+              (Lazy.force netlist)));
+      if verified then 0 else 2
+
+(* ---- command line ------------------------------------------------------ *)
 
 let input_arg =
   let doc =
@@ -161,10 +246,10 @@ let input_arg =
 let method_arg =
   let methods =
     [
-      ("direct", Pipe.Direct);
-      ("horner", Pipe.Horner);
-      ("factor-cse", Pipe.Factor_cse);
-      ("proposed", Pipe.Proposed);
+      ("direct", Engine.Direct);
+      ("horner", Engine.Horner);
+      ("factor-cse", Engine.Factor_cse);
+      ("proposed", Engine.Proposed);
     ]
   in
   let doc =
@@ -173,7 +258,7 @@ let method_arg =
   in
   Arg.(
     value
-    & opt (enum methods) Pipe.Proposed
+    & opt (enum methods) Engine.Proposed
     & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
 
 let width_arg =
@@ -203,6 +288,29 @@ let objective_arg =
     value
     & opt (enum objectives) Search.Min_area
     & info [ "objective" ] ~docv:"OBJ" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Degree of parallelism for the engine's domain pool (0 = one domain \
+     per recommended core, 1 = sequential)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let time_budget_arg =
+  let doc = "Wall-clock budget in seconds for the candidate search." in
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECS" ~doc)
+
+let candidate_budget_arg =
+  let doc =
+    "Extra candidate evaluations allowed after the mandatory first of each \
+     stage."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "candidate-budget" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the engine's representation/variant memo." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
 
 let verilog_arg =
   let doc = "Emit synthesizable Verilog for the chosen decomposition." in
@@ -266,6 +374,57 @@ let evaluate_arg =
   in
   Arg.(value & flag & info [ "evaluate" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Print one JSON object (reports plus the engine trace: per-stage wall \
+     time, candidate counts, cache statistics, budget state) instead of \
+     the text report."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_arg =
+  let doc = "Print the engine trace after the text report." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+(* all flags fold into the one options record *)
+let options_term =
+  let make input method_name width use_ring objective jobs time_budget
+      candidate_budget no_cache verilog_out dot_out testbench_out fsmd_out
+      c_out use_mcm show_power show_range pipeline_period show_program
+      compare_all evaluate json show_trace =
+    {
+      input;
+      method_name;
+      width;
+      use_ring;
+      objective;
+      jobs;
+      time_budget;
+      candidate_budget;
+      no_cache;
+      verilog_out;
+      dot_out;
+      testbench_out;
+      fsmd_out;
+      c_out;
+      use_mcm;
+      show_power;
+      show_range;
+      pipeline_period;
+      show_program;
+      compare_all;
+      evaluate;
+      json;
+      show_trace;
+    }
+  in
+  Term.(
+    const make $ input_arg $ method_arg $ width_arg $ ring_arg $ objective_arg
+    $ jobs_arg $ time_budget_arg $ candidate_budget_arg $ no_cache_arg
+    $ verilog_arg $ dot_arg $ testbench_arg $ fsmd_arg $ c_arg $ mcm_arg
+    $ power_arg $ range_arg $ pipeline_arg $ show_program_arg $ compare_arg
+    $ evaluate_arg $ json_arg $ trace_arg)
+
 let cmd =
   let doc = "area-driven synthesis of polynomial datapath systems" in
   let man =
@@ -280,13 +439,7 @@ let cmd =
          division, integrated with common sub-expression extraction.";
     ]
   in
-  let term =
-    Term.(
-      const run_synthesis $ input_arg $ method_arg $ width_arg $ ring_arg
-      $ objective_arg $ verilog_arg $ dot_arg $ testbench_arg $ fsmd_arg
-      $ c_arg $ mcm_arg $ power_arg $ range_arg $ pipeline_arg
-      $ show_program_arg $ compare_arg $ evaluate_arg)
-  in
+  let term = Term.(const run_synthesis $ options_term) in
   Cmd.v (Cmd.info "polysynth" ~version:"1.0.0" ~doc ~man) term
 
 let () = exit (Cmd.eval' cmd)

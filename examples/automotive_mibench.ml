@@ -14,7 +14,7 @@ module Ring = Polysynth_finite_ring.Canonical
 module Prog = Polysynth_expr.Prog
 module Dag = Polysynth_expr.Dag
 module Cost = Polysynth_hw.Cost
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module B = Polysynth_workloads.Benchmarks
 
 let () =
@@ -24,22 +24,25 @@ let () =
 
   (* 1. ring-aware equivalence checking: 128*x^2 and 128*x compute the same
      8-bit function (x^2 = x mod 2 and 128 kills the rest) *)
-  let a = Parse.poly "128*x^2" and b = Parse.poly "128*x" in
+  let a = Parse.poly_exn "128*x^2" and b = Parse.poly_exn "128*x" in
   Format.printf "128*x^2 == 128*x over Z_2^8?  %b@.@."
     (Ring.equal_functions ctx a b);
 
   (* 2. synthesize the benchmark with and without ring knowledge *)
-  let plain = Pipe.synthesize ~width bench.B.polys in
-  let ring = Pipe.synthesize ~ctx ~width bench.B.polys in
+  let config = Engine.Config.default ~width in
+  let plain, _ = Engine.synthesize config bench.B.polys in
+  let ring, _ =
+    Engine.synthesize { config with Engine.Config.ctx = Some ctx } bench.B.polys
+  in
   Format.printf "without ring ctx: MULT=%d ADD=%d area=%d@."
-    plain.Pipe.counts.Dag.mults plain.Pipe.counts.Dag.adds
-    plain.Pipe.cost.Cost.area;
+    plain.Engine.counts.Dag.mults plain.Engine.counts.Dag.adds
+    plain.Engine.cost.Cost.area;
   Format.printf "with    ring ctx: MULT=%d ADD=%d area=%d@.@."
-    ring.Pipe.counts.Dag.mults ring.Pipe.counts.Dag.adds
-    ring.Pipe.cost.Cost.area;
+    ring.Engine.counts.Dag.mults ring.Engine.counts.Dag.adds
+    ring.Engine.cost.Cost.area;
 
-  Format.printf "decomposition:@.%a@.@." Prog.pp ring.Pipe.prog;
-  assert (Pipe.verify ~ctx bench.B.polys ring.Pipe.prog);
+  Format.printf "decomposition:@.%a@.@." Prog.pp ring.Engine.prog;
+  assert (Engine.verify ~ctx bench.B.polys ring.Engine.prog);
 
   (* 3. exhaustive bit-accurate check on a slice of the input space *)
   let outputs_match xv yv zv =
@@ -49,7 +52,7 @@ let () =
       | "y" -> Z.of_int yv
       | _ -> Z.of_int zv
     in
-    let produced = Prog.eval ring.Pipe.prog env in
+    let produced = Prog.eval ring.Engine.prog env in
     List.for_all2
       (fun (i : int) q ->
         Z.equal

@@ -13,19 +13,19 @@ module Range = Polysynth_hw.Range
 module Schedule = Polysynth_hw.Schedule
 module Bind = Polysynth_hw.Bind
 module Testbench = Polysynth_hw.Testbench
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 
 let () =
   let width = 16 in
   let system =
-    Parse.system
+    Parse.system_exn
       "13*x^2 + 26*x*y + 13*y^2 + 7*x - 7*y + 11;
        15*x^2 - 30*x*y + 15*y^2 + 11*x + 11*y + 9"
   in
-  let result = Pipe.synthesize ~width system in
-  Format.printf "decomposition:@.%a@.@." Prog.pp result.Pipe.prog;
+  let result, _trace = Engine.synthesize (Engine.Config.default ~width) system in
+  Format.printf "decomposition:@.%a@.@." Prog.pp result.Engine.prog;
 
-  let netlist = Netlist.of_prog ~width result.Pipe.prog in
+  let netlist = Netlist.of_prog ~width result.Engine.prog in
 
   (* area/delay, power and wordlength growth of the implementation *)
   Format.printf "cost:  %a@." Cost.pp_report (Cost.of_netlist netlist);

@@ -12,7 +12,7 @@ module Z = Polysynth_zint.Zint
 module P = Polysynth_poly.Poly
 module Prog = Polysynth_expr.Prog
 module Netlist = Polysynth_hw.Netlist
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 
 let () =
   (* build 4*(x + y)^2 + 5*x + 10*y + 3 from the Poly combinators *)
@@ -33,13 +33,15 @@ let () =
     (fun i q -> Format.printf "channel %d: %s@." (i + 1) (P.to_string q))
     system;
 
-  let result = Pipe.synthesize ~width:16 system in
-  Format.printf "@.decomposition:@.%a@.@." Prog.pp result.Pipe.prog;
-  assert (Pipe.verify system result.Pipe.prog);
+  let result, _trace =
+    Engine.synthesize (Engine.Config.default ~width:16) system
+  in
+  Format.printf "@.decomposition:@.%a@.@." Prog.pp result.Engine.prog;
+  assert (Engine.verify system result.Engine.prog);
 
   (* simulate the synthesized netlist on a short input stream and check it
      against direct polynomial evaluation (both wrap at 16 bits) *)
-  let netlist = Netlist.of_prog ~width:16 result.Pipe.prog in
+  let netlist = Netlist.of_prog ~width:16 result.Engine.prog in
   let samples = [ (0, 0); (1, 2); (100, 50); (65535, 1); (1234, 4321) ] in
   List.iter
     (fun (xv, yv) ->

@@ -13,7 +13,7 @@ module Ring = Polysynth_finite_ring.Canonical
 module Dag = Polysynth_expr.Dag
 module Cost = Polysynth_hw.Cost
 module Verilog = Polysynth_hw.Verilog
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module SG = Polysynth_workloads.Savitzky_golay
 
 let () =
@@ -24,20 +24,26 @@ let () =
     (P.to_string (List.hd system));
 
   let ctx = Ring.make_ctx ~out_width:width () in
-  let reports = Pipe.compare_methods ~ctx ~width system in
+  let config =
+    { (Engine.Config.default ~width) with Engine.Config.ctx = Some ctx }
+  in
+  let reports, trace = Engine.compare_methods config system in
   List.iter
     (fun r ->
       Format.printf "%-12s MULT=%-3d ADD=%-3d area=%-7d delay=%.1f@."
-        (Pipe.method_label r.Pipe.method_name)
-        r.Pipe.counts.Dag.mults r.Pipe.counts.Dag.adds r.Pipe.cost.Cost.area
-        r.Pipe.cost.Cost.delay)
+        (Engine.method_label r.Engine.method_name)
+        r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds
+        r.Engine.cost.Cost.area r.Engine.cost.Cost.delay)
     reports;
+  Format.printf
+    "(baselines served from the cached representation store: %d cache hits)@."
+    trace.Engine.Trace.cache_hits;
 
   let proposed = List.nth reports 3 in
-  assert (Pipe.verify ~ctx system proposed.Pipe.prog);
+  assert (Engine.verify ~ctx system proposed.Engine.prog);
 
   let verilog =
-    Verilog.emit_prog ~module_name:"sg5x2_bank" ~width proposed.Pipe.prog
+    Verilog.emit_prog ~module_name:"sg5x2_bank" ~width proposed.Engine.prog
   in
   let lines = String.split_on_char '\n' verilog in
   Format.printf "@.Verilog (%d lines), interface:@." (List.length lines);

@@ -3,38 +3,53 @@ module Expr = Polysynth_expr.Expr
 
 type entry = { name : string; poly : Poly.t; def : Expr.t }
 
-type t = { mutable entries : entry list; mutable counter : int }
+(* The table is shared by every representation builder of a system; the
+   parallel engine runs those builders on separate domains, so find-or-add
+   must be atomic (two polynomials registering the same divisor must agree
+   on its name). *)
+type t = {
+  mutable entries : entry list;
+  mutable counter : int;
+  lock : Mutex.t;
+}
 
-let create () = { entries = []; counter = 0 }
+let create () = { entries = []; counter = 0; lock = Mutex.create () }
 
-let find tab poly =
+let find_unlocked tab poly =
   List.find_opt (fun e -> Poly.equal e.poly poly) tab.entries
 
 let divisor_var tab poly =
-  match find tab poly with
-  | Some e -> e.name
-  | None ->
-    tab.counter <- tab.counter + 1;
-    let name = Printf.sprintf "d%d" tab.counter in
-    tab.entries <-
-      tab.entries @ [ { name; poly; def = Expr.of_poly poly } ];
-    name
+  Mutex.protect tab.lock (fun () ->
+      match find_unlocked tab poly with
+      | Some e -> e.name
+      | None ->
+        tab.counter <- tab.counter + 1;
+        let name = Printf.sprintf "d%d" tab.counter in
+        tab.entries <-
+          tab.entries @ [ { name; poly; def = Expr.of_poly poly } ];
+        name)
 
 let y2_var tab v =
   let poly = Poly.mul (Poly.var v) (Poly.sub (Poly.var v) Poly.one) in
-  match find tab poly with
-  | Some e -> e.name
-  | None ->
-    let name = Printf.sprintf "y2_%s" v in
-    let def =
-      Expr.mul [ Expr.var v; Expr.sub (Expr.var v) Expr.one ]
-    in
-    tab.entries <- tab.entries @ [ { name; poly; def } ];
-    name
+  Mutex.protect tab.lock (fun () ->
+      match find_unlocked tab poly with
+      | Some e -> e.name
+      | None ->
+        let name = Printf.sprintf "y2_%s" v in
+        let def =
+          Expr.mul [ Expr.var v; Expr.sub (Expr.var v) Expr.one ]
+        in
+        tab.entries <- tab.entries @ [ { name; poly; def } ];
+        name)
 
-let bindings tab = List.map (fun e -> (e.name, e.def)) tab.entries
+let bindings tab =
+  Mutex.protect tab.lock (fun () ->
+      List.map (fun e -> (e.name, e.def)) tab.entries)
 
-let defs tab = List.map (fun e -> (e.name, e.poly)) tab.entries
+let defs tab =
+  Mutex.protect tab.lock (fun () ->
+      List.map (fun e -> (e.name, e.poly)) tab.entries)
 
 let lookup_divisor tab poly =
-  Option.map (fun e -> e.name) (find tab poly)
+  Mutex.protect tab.lock (fun () ->
+      Option.map (fun e -> e.name) (find_unlocked tab poly))

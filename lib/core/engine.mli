@@ -1,0 +1,144 @@
+(** The unified synthesis engine — the single entry point for Algorithm 7.
+
+    One {!Config.t} record replaces the scattered [?ctx ?options ~width]
+    arguments of the legacy {!Pipeline} interface; {!run} executes a
+    method under that configuration and returns the synthesis {!report}
+    together with a {!Trace.t} recording per-stage wall time, candidate
+    counts, cache behaviour, and budget exhaustion.
+
+    The engine fans independent work out over OCaml domains (the
+    per-polynomial representation builds and the integrated whole-system
+    variants); on a single-core host — or with [parallelism = 1] — it
+    follows the exact sequential code path, and in both modes it selects
+    decompositions of identical cost (results can differ only in block
+    naming order).  A process-wide bounded memo keyed by the polynomial
+    system and ring signature caches representation stores and variant
+    lists, so {!compare_methods} performs [Represent.build] exactly once
+    per system.
+
+    Use through the [polysynth_engine] library:
+    {[
+      module Engine = Polysynth_engine.Engine
+
+      let config = Engine.Config.default ~width:16
+      let report, trace = Engine.synthesize config polys
+      let () = print_string (Engine.Trace.to_text trace)
+    ]} *)
+
+module Poly := Polysynth_poly.Poly
+module Prog := Polysynth_expr.Prog
+module Dag := Polysynth_expr.Dag
+module Cost := Polysynth_hw.Cost
+module Canonical := Polysynth_finite_ring.Canonical
+
+type method_name = Direct | Horner | Factor_cse | Proposed
+
+val method_label : method_name -> string
+
+type report = {
+  method_name : method_name;
+  prog : Prog.t;
+  counts : Dag.counts;  (** post-CSE MULT/ADD counts *)
+  cost : Cost.report;  (** estimated hardware area and delay *)
+  labels : string list;
+      (** chosen representation per polynomial (Proposed only; a single
+          variant label when an integrated decomposition won; empty for
+          the baselines) *)
+}
+
+module Config : sig
+  type strategy =
+    | Full  (** combination search and integrated variants compete *)
+    | Search_only  (** Algorithm 7 lines 18-24 only *)
+    | Integrated_only  (** whole-system decompositions only *)
+
+  type t = {
+    width : int;  (** datapath bit-width for the area/delay model *)
+    ctx : Canonical.ctx option;  (** bit-vector ring; [None] = exact *)
+    model : Cost.model;
+    objective : Search.objective;
+    strategy : strategy;
+    parallelism : int;
+        (** domains to fan work out over; [0] = auto
+            ([Domain.recommended_domain_count ()]); [1] = sequential *)
+    time_budget : float option;  (** wall-clock budget, seconds *)
+    candidate_budget : int option;
+        (** extra candidate evaluations allowed after the mandatory first
+            of each stage; shared between search and variants *)
+    exhaustive_limit : int;
+        (** combination count up to which the search is exhaustive *)
+    sweeps : int;  (** coordinate-descent passes for large systems *)
+    max_blocks : int option;  (** cap for block discovery *)
+    cache : bool;  (** consult/fill the process-wide memo *)
+  }
+
+  val default : width:int -> t
+  (** [Full] strategy, [Min_area] objective, auto parallelism, no
+      budgets, caching on. *)
+
+  val domains : t -> int
+  (** The resolved degree of parallelism. *)
+
+  val search_options : ?budget:(unit -> bool) -> t -> Search.options
+  (** The corresponding combination-search options. *)
+end
+
+module Trace : sig
+  type stage = {
+    name : string;  (** e.g. ["proposed/represent"], ["direct/baseline"] *)
+    wall : float;  (** seconds *)
+    candidates : int;
+        (** representations built / combinations evaluated / variants
+            considered in this stage *)
+  }
+
+  type t = {
+    parallelism : int;
+    stages : stage list;  (** in execution order *)
+    cache_hits : int;  (** memo hits during this run *)
+    cache_misses : int;
+    budget_exhausted : bool;
+        (** a budget stopped some stage before it finished *)
+    wall : float;  (** whole-run wall time, seconds *)
+  }
+
+  val to_text : t -> string
+  (** Human-readable multi-line rendering. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> string
+  (** One JSON object: [{"parallelism":..,"wall_ms":..,"cache":
+      {"hits":..,"misses":..},"budget_exhausted":..,"stages":[..]}]. *)
+
+  val json_string : string -> string
+  (** An escaped JSON string literal — for composing larger objects
+      around {!to_json}. *)
+end
+
+val run : Config.t -> method_name -> Poly.t list -> report * Trace.t
+
+val synthesize : Config.t -> Poly.t list -> report * Trace.t
+(** [run config Proposed]. *)
+
+val compare_methods : Config.t -> Poly.t list -> report list * Trace.t
+(** All four methods on the same system, reported in declaration order of
+    {!method_name} under one merged trace.  Proposed is computed first so
+    the Direct and Horner baselines are served from the representation
+    store it cached (visible as [cache_hits] in the trace). *)
+
+val verify : ?ctx:Canonical.ctx -> Poly.t list -> Prog.t -> bool
+(** Does the program compute the system?  Exact polynomial equality when
+    no ring context is given; equality of bit-vector functions (via
+    canonical forms) when one is. *)
+
+val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** The engine's domain-pool map: work-stealing over at most [domains]
+    domains (including the caller's), preserving item order.  Falls back
+    to [List.map] when [domains <= 1] or fewer than two items. *)
+
+val clear_cache : unit -> unit
+(** Empty the process-wide memo and reset its hit/miss counters. *)
+
+val cache_stats : unit -> int * int
+(** Cumulative [(hits, misses)] since start or {!clear_cache}. *)

@@ -1,91 +1,46 @@
-module Poly = Polysynth_poly.Poly
-module Prog = Polysynth_expr.Prog
-module Dag = Polysynth_expr.Dag
-module Cost = Polysynth_hw.Cost
-module Canonical = Polysynth_finite_ring.Canonical
+(* Legacy entry points, kept as thin shims over the Engine. *)
 
-type method_name = Direct | Horner | Factor_cse | Proposed
+type method_name = Engine.method_name =
+  | Direct
+  | Horner
+  | Factor_cse
+  | Proposed
 
-let method_label = function
-  | Direct -> "direct"
-  | Horner -> "horner"
-  | Factor_cse -> "factor+cse"
-  | Proposed -> "proposed"
+let method_label = Engine.method_label
 
-type report = {
+type report = Engine.report = {
   method_name : method_name;
-  prog : Prog.t;
-  counts : Dag.counts;
-  cost : Cost.report;
+  prog : Polysynth_expr.Prog.t;
+  counts : Polysynth_expr.Dag.counts;
+  cost : Polysynth_hw.Cost.report;
   labels : string list;
 }
 
-let report_of method_name options prog labels =
-  {
-    method_name;
-    prog;
-    counts = Prog.counts prog;
-    cost =
-      Cost.of_prog ~model:options.Search.model ~width:options.Search.width prog;
-    labels;
-  }
+(* The legacy call sites were sequential; keep them so ([parallelism = 1])
+   rather than silently changing their execution profile.  [options.budget]
+   has no legacy equivalent and is ignored here — budgeted runs go through
+   [Engine.run] directly. *)
+let config_of ?ctx ?options ~width () =
+  let base = { (Engine.Config.default ~width) with ctx; parallelism = 1 } in
+  match (options : Search.options option) with
+  | None -> base
+  | Some o ->
+    {
+      base with
+      width = o.Search.width;
+      model = o.Search.model;
+      objective = o.Search.objective;
+      exhaustive_limit = o.Search.exhaustive_limit;
+      sweeps = o.Search.sweeps;
+    }
 
 let run ?ctx ?options ~width method_name polys =
-  let options =
-    match options with
-    | Some o -> o
-    | None -> Search.default_options ~width
-  in
-  match method_name with
-  | Direct -> report_of Direct options (Baselines.direct polys) []
-  | Horner -> report_of Horner options (Baselines.horner polys) []
-  | Factor_cse -> report_of Factor_cse options (Baselines.factor_cse polys) []
-  | Proposed ->
-    let representations = Represent.build ?ctx polys in
-    let selection = Search.select options representations in
-    let from_search =
-      {
-        method_name = Proposed;
-        prog = selection.Search.prog;
-        counts = selection.Search.counts;
-        cost = selection.Search.cost;
-        labels = selection.Search.labels;
-      }
-    in
-    (* the whole-system CCE + cube-extraction decompositions compete with
-       the per-polynomial combination search; keep the best under the same
-       objective the search used *)
-    let key r = Search.score options r.prog in
-    List.fold_left
-      (fun best (label, prog) ->
-        let candidate =
-          { (report_of Proposed options prog []) with labels = [ label ] }
-        in
-        if key candidate < key best then candidate else best)
-      from_search (Integrated.variants polys)
+  fst (Engine.run (config_of ?ctx ?options ~width ()) method_name polys)
 
 let synthesize ?ctx ?options ~width polys =
   run ?ctx ?options ~width Proposed polys
 
 let compare_methods ?ctx ?options ~width polys =
-  List.map
-    (fun m -> run ?ctx ?options ~width m polys)
-    [ Direct; Horner; Factor_cse; Proposed ]
+  fst (Engine.compare_methods (config_of ?ctx ?options ~width ()) polys)
 
-let verify ?ctx polys prog =
-  let produced = Prog.to_polys prog in
-  let rec check i = function
-    | [] -> true
-    | p :: rest ->
-      let name = Printf.sprintf "P%d" (i + 1) in
-      (match List.assoc_opt name produced with
-       | None -> false
-       | Some q ->
-         let ok =
-           match ctx with
-           | Some ctx -> Canonical.equal_functions ctx p q
-           | None -> Poly.equal p q
-         in
-         ok && check (i + 1) rest)
-  in
-  check 0 polys
+let verify = Engine.verify

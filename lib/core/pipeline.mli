@@ -1,11 +1,11 @@
-(** The end-to-end synthesis flow of Algorithm 7 ([Poly_Synth]) and the
-    benchmark drivers around it.
+(** Legacy entry points of the synthesis flow, now thin shims over
+    {!Engine} — new code should use [Engine.run] / [Engine.synthesize] /
+    [Engine.compare_methods], which take one {!Engine.Config.t} record and
+    additionally return an {!Engine.Trace.t}.
 
-    Given a polynomial system over a bit-vector ring, the proposed flow
-    builds the representation lists (canonical and square-free forms, CCE,
-    cube extraction, algebraic division by the exposed linear blocks),
-    searches the combinations with CSE-aware cost, and returns the best
-    decomposition together with its estimated hardware cost. *)
+    The shims run the engine sequentially ([parallelism = 1]) and ignore
+    [options.budget]; apart from that they produce exactly the reports the
+    historical implementation did. *)
 
 module Poly := Polysynth_poly.Poly
 module Prog := Polysynth_expr.Prog
@@ -13,11 +13,15 @@ module Dag := Polysynth_expr.Dag
 module Cost := Polysynth_hw.Cost
 module Canonical := Polysynth_finite_ring.Canonical
 
-type method_name = Direct | Horner | Factor_cse | Proposed
+type method_name = Engine.method_name =
+  | Direct
+  | Horner
+  | Factor_cse
+  | Proposed
 
 val method_label : method_name -> string
 
-type report = {
+type report = Engine.report = {
   method_name : method_name;
   prog : Prog.t;
   counts : Dag.counts;  (** post-CSE MULT/ADD counts *)
@@ -33,6 +37,7 @@ val run :
   method_name ->
   Poly.t list ->
   report
+[@@ocaml.deprecated "Use Engine.run: it takes one Config record and also returns a Trace."]
 
 val synthesize :
   ?ctx:Canonical.ctx ->
@@ -40,6 +45,7 @@ val synthesize :
   width:int ->
   Poly.t list ->
   report
+[@@ocaml.deprecated "Use Engine.synthesize."]
 (** [run Proposed]. *)
 
 val compare_methods :
@@ -48,6 +54,7 @@ val compare_methods :
   width:int ->
   Poly.t list ->
   report list
+[@@ocaml.deprecated "Use Engine.compare_methods."]
 (** All four methods on the same system, in declaration order of
     {!method_name}. *)
 

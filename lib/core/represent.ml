@@ -144,15 +144,30 @@ let dedup reps =
   in
   go [] reps
 
-let build ?ctx ?max_blocks polys =
+let build ?ctx ?max_blocks ?(pmap = List.map) polys =
   let table = Blocktab.create () in
   let divisors = Blocks.discover ?max_blocks polys in
-  let session = Algdiv.make_session table ~divisors in
+  (* Fix the TED variable order up front (first occurrence across the
+     system, exactly the order the sequential build would register):
+     processing order then cannot influence the diagrams, so parallel and
+     sequential builds produce identical representations. *)
+  let ted_order =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+          acc (Poly.vars p))
+      [] polys
+  in
   (* one TED manager for the whole system: sub-functions shared across
      polynomials land on shared nodes, and decompose emits identical
      sub-expressions for them, which the DAG then merges *)
-  let ted_manager = Ted.create () in
+  let ted_manager = Ted.create ~order:ted_order () in
   let reps_of p =
+    (* a session per polynomial: the algebraic-division memo is a pure
+       compute cache, and a private one keeps the builder lock-free so
+       [pmap] may process polynomials on separate domains *)
+    let session = Algdiv.make_session table ~divisors in
     let exact label expr = Some { label; expr; semantics = Exact } in
     let candidates =
       [
@@ -203,7 +218,7 @@ let build ?ctx ?max_blocks polys =
     table;
     divisors;
     polys = Array.of_list polys;
-    reps = Array.of_list (List.map reps_of polys);
+    reps = Array.of_list (pmap reps_of polys);
     ctx;
   }
 

@@ -23,11 +23,23 @@ type t = {
   ctx : Canonical.ctx option;
 }
 
-val build : ?ctx:Canonical.ctx -> ?max_blocks:int -> Poly.t list -> t
+val build :
+  ?ctx:Canonical.ctx ->
+  ?max_blocks:int ->
+  ?pmap:((Poly.t -> rep list) -> Poly.t list -> rep list list) ->
+  Poly.t list ->
+  t
 (** Representation lists contain, where applicable and distinct: the
     direct form, the Horner form, the square-free factored form, the
     canonical form (when [ctx] is given), the CCE decomposition, and the
-    best algebraic-division decomposition. *)
+    best algebraic-division decomposition.
+
+    [pmap] (default [List.map]) maps the per-polynomial builder over the
+    system; the engine passes a domain-pool map here to fan the builds out
+    in parallel.  The builder is safe to run concurrently (the shared
+    block table and TED manager are lock-protected, and the TED variable
+    order is fixed up front), and the produced representations are
+    identical to a sequential build up to block naming order. *)
 
 val num_combinations : t -> int
 (** Product of the representation-list lengths (capped at [max_int]). *)

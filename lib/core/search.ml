@@ -11,6 +11,7 @@ type options = {
   objective : objective;
   exhaustive_limit : int;
   sweeps : int;
+  budget : (unit -> bool) option;
 }
 
 let default_options ~width =
@@ -20,6 +21,7 @@ let default_options ~width =
     objective = Min_area;
     exhaustive_limit = 4096;
     sweeps = 4;
+    budget = None;
   }
 
 type selection = {
@@ -29,6 +31,7 @@ type selection = {
   counts : Dag.counts;
   combinations_evaluated : int;
   exhaustive : bool;
+  budget_exhausted : bool;
 }
 
 let prog_of_choice (r : Represent.t) choice =
@@ -71,10 +74,18 @@ let score options prog =
 
 let better (a, _, _) (b, _, _) = a < b
 
+exception Budget_exhausted
+
 let select options (r : Represent.t) =
   let reps = Array.map Array.of_list r.Represent.reps in
   let n = Array.length reps in
   let evaluated = ref 0 in
+  let exhausted = ref false in
+  (* the very first candidate is always evaluated, so budget exhaustion
+     still leaves a complete (if unoptimized) selection to return *)
+  let may_continue () =
+    match options.budget with None -> true | Some ok -> ok ()
+  in
   let eval choice_idx =
     incr evaluated;
     let choice =
@@ -105,10 +116,16 @@ let select options (r : Represent.t) =
       in
       let keep_going = ref (advance 0) in
       while !keep_going do
-        let trial = eval idx in
-        let (ts, _, _) = trial and (bs, _, _) = !best in
-        if better ts bs then best := trial;
-        keep_going := advance 0
+        if not (may_continue ()) then begin
+          exhausted := true;
+          keep_going := false
+        end
+        else begin
+          let trial = eval idx in
+          let (ts, _, _) = trial and (bs, _, _) = !best in
+          if better ts bs then best := trial;
+          keep_going := advance 0
+        end
       done
     end
     else begin
@@ -117,29 +134,32 @@ let select options (r : Represent.t) =
       let idx = Array.make n 0 in
       let improved = ref true in
       let sweep = ref 0 in
-      while !improved && !sweep < options.sweeps do
-        improved := false;
-        incr sweep;
-        for i = 0 to n - 1 do
-          let best_k = ref idx.(i) in
-          for k = 0 to Array.length reps.(i) - 1 do
-            if k <> !best_k then begin
-              idx.(i) <- k;
-              let trial = eval idx in
-              let (ts, _, _) = trial and (bs, _, _) = !best in
-              if better ts bs then begin
-                best := trial;
-                best_k := k;
-                improved := true
-              end
-            end
-          done;
-          (* [best] was last updated at idx.(i) = !best_k (or never for
-             this position), so this restores the configuration it
-             scored *)
-          idx.(i) <- !best_k
-        done
-      done
+      (try
+         while !improved && !sweep < options.sweeps do
+           improved := false;
+           incr sweep;
+           for i = 0 to n - 1 do
+             let best_k = ref idx.(i) in
+             for k = 0 to Array.length reps.(i) - 1 do
+               if k <> !best_k then begin
+                 if not (may_continue ()) then raise_notrace Budget_exhausted;
+                 idx.(i) <- k;
+                 let trial = eval idx in
+                 let (ts, _, _) = trial and (bs, _, _) = !best in
+                 if better ts bs then begin
+                   best := trial;
+                   best_k := k;
+                   improved := true
+                 end
+               end
+             done;
+             (* [best] was last updated at idx.(i) = !best_k (or never for
+                this position), so this restores the configuration it
+                scored *)
+             idx.(i) <- !best_k
+           done
+         done
+       with Budget_exhausted -> exhausted := true)
     end
   end;
   let (_, cost, counts), prog, choice = !best in
@@ -150,4 +170,5 @@ let select options (r : Represent.t) =
     counts;
     combinations_evaluated = !evaluated;
     exhaustive;
+    budget_exhausted = !exhausted;
   }

@@ -23,10 +23,16 @@ type options = {
   exhaustive_limit : int;
       (** combination count up to which the search is exhaustive *)
   sweeps : int;  (** coordinate-descent passes for large systems *)
+  budget : (unit -> bool) option;
+      (** "may another combination be evaluated?"  When it returns [false]
+          the search stops early and keeps the best candidate found so far
+          (the first candidate is always evaluated).  [None] = unlimited.
+          The engine threads its shared time/candidate budget through
+          here. *)
 }
 
 val default_options : width:int -> options
-(** Objective defaults to [Min_area]. *)
+(** Objective defaults to [Min_area]; no budget. *)
 
 val score : options -> Prog.t -> float array
 (** The lexicographic objective key of a program under the options
@@ -40,6 +46,8 @@ type selection = {
   counts : Dag.counts;
   combinations_evaluated : int;
   exhaustive : bool;
+  budget_exhausted : bool;
+      (** the budget callback stopped the search before it finished *)
 }
 
 val prog_of_choice : Represent.t -> Represent.rep list -> Prog.t

@@ -1,0 +1,7 @@
+(** The unified synthesis engine ([Polysynth_engine.Engine]) — the public
+    face of the implementation living in [polysynth_core], re-exported
+    here so that consumers depend on one small library.  No [.mli] on
+    purpose: the types stay equal to [Polysynth_core.Engine]'s, so values
+    flow freely between the two paths during migration. *)
+
+include Polysynth_core.Engine

@@ -1,5 +1,7 @@
 module Parse = Polysynth_poly.Parse
 
+type error = [ `Parse of string ]
+
 exception Parse_error of string
 
 let strip_comment line =
@@ -14,7 +16,7 @@ let is_ident s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
        s
 
-let program text =
+let program_exn text =
   let entries =
     String.split_on_char '\n' text
     |> List.map strip_comment
@@ -31,9 +33,8 @@ let program text =
         raise (Parse_error ("bad definition name: " ^ name));
       let expr =
         match Parse.poly rhs with
-        | poly -> Expr.of_poly poly
-        | exception Parse.Parse_error msg ->
-          raise (Parse_error (name ^ ": " ^ msg))
+        | Ok poly -> Expr.of_poly poly
+        | Error (`Parse msg) -> raise (Parse_error (name ^ ": " ^ msg))
       in
       (name, expr)
   in
@@ -64,3 +65,6 @@ let program text =
   if outputs = [] then
     raise (Parse_error "program has no outputs (every name is referenced)");
   { Prog.bindings; outputs }
+
+let program text =
+  try Ok (program_exn text) with Parse_error msg -> Error (`Parse msg)

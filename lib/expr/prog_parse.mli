@@ -13,8 +13,16 @@
     user hand a candidate decomposition to the cost model and the
     verifier. *)
 
-exception Parse_error of string
+type error = [ `Parse of string ]
+(** Shared with {!Polysynth_poly.Parse.error} so callers can handle both
+    parsers with one match. *)
 
-val program : string -> Prog.t
-(** @raise Parse_error on malformed input, duplicate definitions,
-    forward references, or programs with no outputs. *)
+exception Parse_error of string
+(** Raised by {!program_exn} only. *)
+
+val program : string -> (Prog.t, error) result
+(** [Error (`Parse _)] on malformed input, duplicate definitions, forward
+    references, or programs with no outputs. *)
+
+val program_exn : string -> Prog.t
+(** @raise Parse_error under the same conditions. *)

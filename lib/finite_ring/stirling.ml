@@ -1,28 +1,31 @@
 module Z = Polysynth_zint.Zint
 
 (* Both families are memoized row by row; rows are small (degrees of
-   datapath polynomials), so a growable table of rows is plenty. *)
+   datapath polynomials), so a growable table of rows is plenty.  The memo
+   is process-global, so extension is serialized behind a mutex: canonical
+   forms are computed from multiple domains by the parallel engine. *)
 
 let table recurrence =
+  let lock = Mutex.create () in
   let rows : Z.t array list ref = ref [ [| Z.one |] ] in
   (* row n has n+1 entries for k = 0..n *)
   fun n k ->
     if n < 0 || k < 0 then invalid_arg "Stirling: negative argument";
     if k > n then Z.zero
-    else begin
-      let have = List.length !rows in
-      if n >= have then
-        for n' = have to n do
-          let prev = List.nth !rows (n' - 1) in
-          let row =
-            Array.init (n' + 1) (fun k' ->
-                let up k = if k < 0 || k >= Array.length prev then Z.zero else prev.(k) in
-                recurrence n' k' up)
-          in
-          rows := !rows @ [ row ]
-        done;
-      (List.nth !rows n).(k)
-    end
+    else
+      Mutex.protect lock (fun () ->
+          let have = List.length !rows in
+          if n >= have then
+            for n' = have to n do
+              let prev = List.nth !rows (n' - 1) in
+              let row =
+                Array.init (n' + 1) (fun k' ->
+                    let up k = if k < 0 || k >= Array.length prev then Z.zero else prev.(k) in
+                    recurrence n' k' up)
+              in
+              rows := !rows @ [ row ]
+            done;
+          (List.nth !rows n).(k))
 
 let second =
   table (fun _n k up -> Z.add (Z.mul_int (up k) k) (up (k - 1)))

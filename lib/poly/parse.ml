@@ -1,5 +1,7 @@
 module Z = Polysynth_zint.Zint
 
+type error = [ `Parse of string ]
+
 exception Parse_error of string
 
 type token =
@@ -130,7 +132,7 @@ and parse_atom st =
   | (Tplus | Tminus | Tstar | Tcaret | Trparen | Tend), pos ->
     fail pos "expected a number, variable or '('"
 
-let poly s =
+let poly_exn s =
   let st = { stream = tokenize s } in
   let e = parse_expr st in
   (match peek st with
@@ -143,9 +145,14 @@ let strip_comments line =
   | Some i -> String.sub line 0 i
   | None -> line
 
-let system s =
+let system_exn s =
   String.split_on_char '\n' s
   |> List.map strip_comments
   |> List.concat_map (String.split_on_char ';')
   |> List.filter_map (fun chunk ->
-         if String.trim chunk = "" then None else Some (poly chunk))
+         if String.trim chunk = "" then None else Some (poly_exn chunk))
+
+let poly s = try Ok (poly_exn s) with Parse_error msg -> Error (`Parse msg)
+
+let system s =
+  try Ok (system_exn s) with Parse_error msg -> Error (`Parse msg)

@@ -11,13 +11,22 @@
     naturals (sign comes from the grammar).  Example:
     ["4*x^2*y^2 - 4*x*y + 5*(x + 3*y)^2"]. *)
 
-exception Parse_error of string
-(** Carries a human-readable message with the offending position. *)
+type error = [ `Parse of string ]
+(** A human-readable message with the offending position.  Shared with
+    {!Polysynth_expr.Prog_parse.error} so callers can handle both parsers
+    with one match. *)
 
-val poly : string -> Poly.t
+exception Parse_error of string
+(** Raised by the [_exn] conveniences only. *)
+
+val poly : string -> (Poly.t, error) result
+
+val system : string -> (Poly.t list, error) result
+(** Parses a list of polynomials separated by [';'] or newlines; blank
+    entries and [#]-to-end-of-line comments are ignored. *)
+
+val poly_exn : string -> Poly.t
 (** @raise Parse_error on malformed input. *)
 
-val system : string -> Poly.t list
-(** Parses a list of polynomials separated by [';'] or newlines; blank
-    entries and [#]-to-end-of-line comments are ignored.
-    @raise Parse_error on malformed input. *)
+val system_exn : string -> Poly.t list
+(** @raise Parse_error on malformed input. *)

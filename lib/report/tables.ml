@@ -3,13 +3,28 @@ module Dag = Polysynth_expr.Dag
 module Prog = Polysynth_expr.Prog
 module Ring = Polysynth_finite_ring.Canonical
 module Cost = Polysynth_hw.Cost
-module Pipe = Polysynth_core.Pipeline
+module Engine = Polysynth_engine.Engine
 module Search = Polysynth_core.Search
 module Represent = Polysynth_core.Represent
 module Integrated = Polysynth_core.Integrated
 module Baselines = Polysynth_core.Baselines
 module B = Polysynth_workloads.Benchmarks
 module Ex = Polysynth_workloads.Examples
+
+(* every row goes through the unified engine; the shared memo means the
+   repeated Proposed runs across the studies build each system's
+   representation store only once *)
+let run_method ?ctx ?objective ~width m polys =
+  let base = Engine.Config.default ~width in
+  let config =
+    {
+      base with
+      Engine.Config.ctx;
+      objective =
+        Option.value objective ~default:base.Engine.Config.objective;
+    }
+  in
+  fst (Engine.run config m polys)
 
 type counts_row = { scheme : string; mults : int; adds : int }
 
@@ -21,7 +36,7 @@ let table_14_1_rows () =
   let direct = Prog.tree_counts (Baselines.direct system) in
   let horner = Prog.tree_counts (Baselines.horner system) in
   let factor = Prog.counts (Baselines.factor_cse system) in
-  let proposed = (Pipe.run ~width:16 Pipe.Proposed system).Pipe.counts in
+  let proposed = (run_method ~width:16 Engine.Proposed system).Engine.counts in
   [
     counts_row "direct" direct;
     counts_row "horner" horner;
@@ -33,7 +48,7 @@ let table_14_2_rows () =
   let system = Ex.table_14_2 in
   let ctx = Ring.make_ctx ~out_width:16 () in
   let initial = Prog.tree_counts (Baselines.direct system) in
-  let final = (Pipe.synthesize ~ctx ~width:16 system).Pipe.counts in
+  let final = (run_method ~ctx ~width:16 Engine.Proposed system).Engine.counts in
   [ counts_row "initial (direct)" initial; counts_row "final (proposed)" final ]
 
 type bench_row = {
@@ -50,22 +65,22 @@ type bench_row = {
 
 let bench_row (b : B.t) =
   let ctx = Ring.make_ctx ~out_width:b.B.width () in
-  let base = Pipe.run ~ctx ~width:b.B.width Pipe.Factor_cse b.B.polys in
-  let prop = Pipe.run ~ctx ~width:b.B.width Pipe.Proposed b.B.polys in
+  let base = run_method ~ctx ~width:b.B.width Engine.Factor_cse b.B.polys in
+  let prop = run_method ~ctx ~width:b.B.width Engine.Proposed b.B.polys in
   let pct a b = 100.0 *. (1.0 -. (a /. b)) in
   {
     name = b.B.name;
     characteristics =
       Printf.sprintf "%d/%d/%d" b.B.num_vars b.B.degree b.B.width;
     num_polys = List.length b.B.polys;
-    base_area = base.Pipe.cost.Cost.area;
-    base_delay = base.Pipe.cost.Cost.delay;
-    prop_area = prop.Pipe.cost.Cost.area;
-    prop_delay = prop.Pipe.cost.Cost.delay;
+    base_area = base.Engine.cost.Cost.area;
+    base_delay = base.Engine.cost.Cost.delay;
+    prop_area = prop.Engine.cost.Cost.area;
+    prop_delay = prop.Engine.cost.Cost.delay;
     area_improvement_pct =
-      pct (float_of_int prop.Pipe.cost.Cost.area)
-        (float_of_int base.Pipe.cost.Cost.area);
-    delay_improvement_pct = pct prop.Pipe.cost.Cost.delay base.Pipe.cost.Cost.delay;
+      pct (float_of_int prop.Engine.cost.Cost.area)
+        (float_of_int base.Engine.cost.Cost.area);
+    delay_improvement_pct = pct prop.Engine.cost.Cost.delay base.Engine.cost.Cost.delay;
   }
 
 let table_14_3_rows ?names () =
@@ -147,7 +162,7 @@ let ablation_rows ?names () =
             (Integrated.variants b.B.polys)
         @ [
             ablation_of_prog ~width:w "proposed"
-              (Pipe.run ~ctx ~width:w Pipe.Proposed b.B.polys).Pipe.prog;
+              (run_method ~ctx ~width:w Engine.Proposed b.B.polys).Engine.prog;
           ]
       in
       (b.B.name, rows))
@@ -190,11 +205,10 @@ let objective_rows ?(names = [ "Quad"; "Mibench"; "MVCS" ]) () =
          let rows =
            List.map
              (fun (label, objective) ->
-               let options =
-                 { (Search.default_options ~width:w) with Search.objective }
+               let r =
+                 run_method ~objective ~width:w Engine.Proposed b.B.polys
                in
-               let r = Pipe.run ~options ~width:w Pipe.Proposed b.B.polys in
-               ablation_of_prog ~width:w label r.Pipe.prog)
+               ablation_of_prog ~width:w label r.Engine.prog)
              [
                ("min-area", Search.Min_area);
                ("min-delay", Search.Min_delay);
@@ -208,8 +222,8 @@ let schedule_rows ?(names = [ "SG 3x2"; "Quad"; "MVCS" ]) () =
   List.filter_map B.by_name names
   |> List.map (fun (b : B.t) ->
          let w = b.B.width in
-         let r = Pipe.run ~width:w Pipe.Proposed b.B.polys in
-         let n = Netlist.of_prog ~width:w r.Pipe.prog in
+         let r = run_method ~width:w Engine.Proposed b.B.polys in
+         let n = Netlist.of_prog ~width:w r.Engine.prog in
          let budgets =
            [ (1, 1); (1, 2); (2, 2); (4, 4); (max_int, max_int) ]
          in
@@ -236,8 +250,8 @@ let mcm_rows ?(names = [ "SG 3x2"; "SG 4x2"; "Quad"; "Mibench"; "MVCS" ]) () =
   List.filter_map B.by_name names
   |> List.map (fun (b : B.t) ->
          let w = b.B.width in
-         let r = Pipe.run ~width:w Pipe.Proposed b.B.polys in
-         let n = Netlist.of_prog ~width:w r.Pipe.prog in
+         let r = run_method ~width:w Engine.Proposed b.B.polys in
+         let n = Netlist.of_prog ~width:w r.Engine.prog in
          let plain = Cost.of_netlist n in
          let opt = Cost.of_netlist (Polysynth_hw.Mcm.optimize n) in
          ( b.B.name,
@@ -255,8 +269,8 @@ let implementation_rows ?(names = [ "SG 3x2"; "Quad"; "MVCS" ]) () =
   List.filter_map B.by_name names
   |> List.map (fun (b : B.t) ->
          let w = b.B.width in
-         let r = Pipe.run ~width:w Pipe.Proposed b.B.polys in
-         let n = Netlist.of_prog ~width:w r.Pipe.prog in
+         let r = run_method ~width:w Engine.Proposed b.B.polys in
+         let n = Netlist.of_prog ~width:w r.Engine.prog in
          let fsmd =
            Polysynth_hw.Fsmd.build
              { Polysynth_hw.Schedule.multipliers = 1; adders = 1 }

@@ -9,6 +9,9 @@ type node =
   | Node of { var : string; const : t; linear : t }
       (* value = const + var * linear, with linear <> leaf 0 *)
 
+(* One manager may be shared by representation builders running on
+   several domains (the parallel engine), so every public operation takes
+   the manager lock; the recursive workers below it are lock-free. *)
 type manager = {
   mutable nodes : node array;
   mutable len : int;
@@ -16,6 +19,7 @@ type manager = {
   add_memo : (t * t, t) Hashtbl.t;
   mul_memo : (t * t, t) Hashtbl.t;
   mutable order : string list;  (* decomposition order, most significant first *)
+  lock : Mutex.t;
 }
 
 let create ?(order = []) () =
@@ -26,6 +30,7 @@ let create ?(order = []) () =
     add_memo = Hashtbl.create 64;
     mul_memo = Hashtbl.create 64;
     order;
+    lock = Mutex.create ();
   }
 
 let node_of m i = m.nodes.(i)
@@ -176,5 +181,21 @@ let decompose m root =
       e
   in
   go root
+
+(* ---- locked public API ------------------------------------------------
+   Shadow the lock-free workers above with wrappers that serialize on the
+   manager lock, so a manager can be shared across domains. *)
+
+let locked m f = Mutex.protect m.lock f
+let leaf m c = locked m (fun () -> leaf m c)
+let zero m = locked m (fun () -> zero m)
+let one m = locked m (fun () -> one m)
+let add m a b = locked m (fun () -> add m a b)
+let mul m a b = locked m (fun () -> mul m a b)
+let neg m a = locked m (fun () -> neg m a)
+let of_poly m p = locked m (fun () -> of_poly m p)
+let to_poly m i = locked m (fun () -> to_poly m i)
+let num_nodes m = locked m (fun () -> num_nodes m)
+let decompose m root = locked m (fun () -> decompose m root)
 
 let pp m fmt i = Poly.pp fmt (to_poly m i)

@@ -1,6 +1,6 @@
 module Poly = Polysynth_poly.Poly
 
-let p = Polysynth_poly.Parse.poly
+let p = Polysynth_poly.Parse.poly_exn
 
 type t = {
   name : string;

@@ -1,4 +1,4 @@
-let p = Polysynth_poly.Parse.poly
+let p = Polysynth_poly.Parse.poly_exn
 
 let table_14_1 =
   [

@@ -1,7 +1,7 @@
 module Z = Polysynth_zint.Zint
 module Poly = Polysynth_poly.Poly
 
-let p = Polysynth_poly.Parse.poly
+let p = Polysynth_poly.Parse.poly_exn
 
 let fir_direct ~taps =
   if taps < 1 then invalid_arg "Extended.fir_direct: taps < 1";

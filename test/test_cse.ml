@@ -8,7 +8,7 @@ module Dag = Polysynth_expr.Dag
 module Prog = Polysynth_expr.Prog
 module E = Polysynth_expr.Expr
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let mono = Alcotest.testable Mono.pp Mono.equal
 

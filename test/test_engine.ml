@@ -1,0 +1,186 @@
+(* The unified engine: parallel/sequential equivalence, memoization, and
+   budget degradation. *)
+
+module Z = Polysynth_zint.Zint
+module Dag = Polysynth_expr.Dag
+module Cost = Polysynth_hw.Cost
+module Engine = Polysynth_engine.Engine
+module Trace = Polysynth_engine.Engine.Trace
+module B = Polysynth_workloads.Benchmarks
+module Ex = Polysynth_workloads.Examples
+
+(* caching off by default so every run really computes *)
+let config ?(parallelism = 1) ?(cache = false) ~width () =
+  { (Engine.Config.default ~width) with Engine.Config.parallelism; cache }
+
+(* ---- parallel map ---------------------------------------------------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 23 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved" (List.map (fun x -> (3 * x) + 1) xs)
+    (Engine.parallel_map ~domains:4 (fun x -> (3 * x) + 1) xs);
+  Alcotest.(check (list int))
+    "sequential fallback" [ 9 ]
+    (Engine.parallel_map ~domains:1 (fun x -> x * x) [ 3 ]);
+  Alcotest.(check (list int)) "empty" [] (Engine.parallel_map ~domains:4 Fun.id []);
+  Alcotest.(check (list int))
+    "more domains than items" [ 2; 4 ]
+    (Engine.parallel_map ~domains:8 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_parallel_map_exception () =
+  Alcotest.check_raises "worker exception propagates" (Failure "boom")
+    (fun () ->
+      ignore
+        (Engine.parallel_map ~domains:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 Fun.id)))
+
+(* ---- determinism: parallel = sequential ------------------------------ *)
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun (b : B.t) ->
+      let run parallelism =
+        fst
+          (Engine.synthesize
+             (config ~parallelism ~width:b.B.width ())
+             b.B.polys)
+      in
+      let seq = run 1 in
+      let par = run 2 in
+      Alcotest.(check int)
+        (b.B.name ^ ": MULT count") seq.Engine.counts.Dag.mults
+        par.Engine.counts.Dag.mults;
+      Alcotest.(check int)
+        (b.B.name ^ ": ADD count") seq.Engine.counts.Dag.adds
+        par.Engine.counts.Dag.adds;
+      Alcotest.(check int)
+        (b.B.name ^ ": area") seq.Engine.cost.Cost.area
+        par.Engine.cost.Cost.area;
+      Alcotest.(check (float 1e-9))
+        (b.B.name ^ ": delay") seq.Engine.cost.Cost.delay
+        par.Engine.cost.Cost.delay;
+      Alcotest.(check bool)
+        (b.B.name ^ ": parallel result is exact") true
+        (Engine.verify b.B.polys par.Engine.prog))
+    (B.all ())
+
+(* ---- memoization ----------------------------------------------------- *)
+
+let test_memo_hits_on_compare () =
+  Engine.clear_cache ();
+  let cfg =
+    { (Engine.Config.default ~width:16) with Engine.Config.parallelism = 1 }
+  in
+  let mvcs = (Option.get (B.by_name "MVCS")).B.polys in
+  let reports1, trace1 = Engine.compare_methods cfg mvcs in
+  let reports2, trace2 = Engine.compare_methods cfg mvcs in
+  (* within one compare, Proposed caches the representation store and the
+     Direct/Horner baselines are served from it *)
+  Alcotest.(check bool)
+    "baselines hit the store on the first compare" true
+    (trace1.Trace.cache_hits > 0);
+  (* the second compare re-builds nothing at all *)
+  Alcotest.(check int) "no misses on the second compare" 0
+    trace2.Trace.cache_misses;
+  Alcotest.(check bool)
+    "second compare fully served" true
+    (trace2.Trace.cache_hits >= trace1.Trace.cache_hits);
+  List.iter2
+    (fun (a : Engine.report) (b : Engine.report) ->
+      Alcotest.(check int) "same area across cached runs" a.Engine.cost.Cost.area
+        b.Engine.cost.Cost.area;
+      Alcotest.(check int) "same MULT across cached runs"
+        a.Engine.counts.Dag.mults b.Engine.counts.Dag.mults)
+    reports1 reports2;
+  Engine.clear_cache ()
+
+let test_cache_off_never_counts () =
+  Engine.clear_cache ();
+  let cfg = config ~width:16 () in
+  let _, trace = Engine.compare_methods cfg Ex.table_14_1 in
+  Alcotest.(check int) "no hits with caching off" 0 trace.Trace.cache_hits;
+  Alcotest.(check int) "no misses with caching off" 0 trace.Trace.cache_misses
+
+(* ---- budgets --------------------------------------------------------- *)
+
+let test_budget_exhaustion_graceful () =
+  let polys = Ex.table_14_1 in
+  let full, full_trace = Engine.synthesize (config ~width:16 ()) polys in
+  Alcotest.(check bool) "unbudgeted run has no exhaustion" false
+    full_trace.Trace.budget_exhausted;
+  let tight =
+    { (config ~width:16 ()) with Engine.Config.candidate_budget = Some 0 }
+  in
+  let r, trace = Engine.synthesize tight polys in
+  Alcotest.(check bool) "zero candidate budget reported" true
+    trace.Trace.budget_exhausted;
+  Alcotest.(check bool) "budgeted result is still exact" true
+    (Engine.verify polys r.Engine.prog);
+  Alcotest.(check bool) "budgeted result can only be worse or equal" true
+    (full.Engine.cost.Cost.area <= r.Engine.cost.Cost.area);
+  let timed =
+    { (config ~width:16 ()) with Engine.Config.time_budget = Some 0.0 }
+  in
+  let r', trace' = Engine.synthesize timed polys in
+  Alcotest.(check bool) "zero time budget reported" true
+    trace'.Trace.budget_exhausted;
+  Alcotest.(check bool) "time-budgeted result is still exact" true
+    (Engine.verify polys r'.Engine.prog)
+
+(* ---- trace ------------------------------------------------------------ *)
+
+let test_trace_shape () =
+  let _, trace = Engine.synthesize (config ~width:16 ()) Ex.table_14_1 in
+  let names = List.map (fun (s : Trace.stage) -> s.Trace.name) trace.Trace.stages in
+  Alcotest.(check (list string))
+    "stages in flow order"
+    [ "proposed/represent"; "proposed/search"; "proposed/integrated" ]
+    names;
+  List.iter
+    (fun (s : Trace.stage) ->
+      Alcotest.(check bool) (s.Trace.name ^ " wall >= 0") true (s.Trace.wall >= 0.0);
+      Alcotest.(check bool)
+        (s.Trace.name ^ " evaluated candidates") true (s.Trace.candidates > 0))
+    trace.Trace.stages;
+  let json = Trace.to_json trace in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true (contains needle))
+    [ "\"stages\""; "\"cache\""; "\"budget_exhausted\"" ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "parallel_map",
+        [
+          Alcotest.test_case "order and fallbacks" `Quick test_parallel_map_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_map_exception;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential on all benchmarks" `Quick
+            test_parallel_matches_sequential;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "compare_methods hits the store" `Quick
+            test_memo_hits_on_compare;
+          Alcotest.test_case "cache off counts nothing" `Quick
+            test_cache_off_never_counts;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exhaustion degrades gracefully" `Quick
+            test_budget_exhaustion_graceful;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "stages and json" `Quick test_trace_shape ] );
+    ]

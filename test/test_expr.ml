@@ -6,7 +6,7 @@ module E = Polysynth_expr.Expr
 module Dag = Polysynth_expr.Dag
 module Prog = Polysynth_expr.Prog
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let expr = Alcotest.testable E.pp E.equal
 
@@ -220,7 +220,7 @@ module PP = Polysynth_expr.Prog_parse
 
 let test_prog_parse_basic () =
   let prog =
-    PP.program
+    PP.program_exn
       "d1 = x + 3*y  # block\nP1 = d1^2; P2 = 4*y^2*d1\nP3 = 2*x*z*d1"
   in
   Alcotest.(check int) "one binding" 1 (List.length prog.Prog.bindings);
@@ -230,7 +230,7 @@ let test_prog_parse_basic () =
     (List.assoc "P1" polys)
 
 let test_prog_parse_chained_bindings () =
-  let prog = PP.program "a = x + 1\nb = a*a\nout = b + a" in
+  let prog = PP.program_exn "a = x + 1\nb = a*a\nout = b + a" in
   Alcotest.(check int) "two bindings" 2 (List.length prog.Prog.bindings);
   Alcotest.check poly "expansion" (p "x^2 + 3*x + 2")
     (List.assoc "out" (Prog.to_polys prog))
@@ -238,14 +238,14 @@ let test_prog_parse_chained_bindings () =
 let test_prog_parse_errors () =
   let bad s sub =
     match PP.program s with
-    | exception PP.Parse_error msg ->
+    | Error (`Parse msg) ->
       Alcotest.(check bool) (s ^ " mentions " ^ sub) true
         (let rec contains i =
            i + String.length sub <= String.length msg
            && (String.sub msg i (String.length sub) = sub || contains (i + 1))
          in
          contains 0)
-    | _ -> Alcotest.fail ("expected error for " ^ s)
+    | Ok _ -> Alcotest.fail ("expected error for " ^ s)
   in
   bad "x + 1" "missing '='";
   bad "a = x\na = y\nz = a" "duplicate";
@@ -280,7 +280,7 @@ let prop_dag_counts_at_most_tree =
 
 let prop_pp_parses_to_same_poly =
   prop "pretty output parses to the same polynomial" arb_expr (fun e ->
-      P.equal (E.to_poly e) (Parse.poly (E.to_string e)))
+      P.equal (E.to_poly e) (Parse.poly_exn (E.to_string e)))
 
 let prop_subst_identity =
   prop "identity substitution is identity" arb_expr (fun e ->

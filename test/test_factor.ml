@@ -5,7 +5,7 @@ module Mono = Polysynth_poly.Monomial
 module G = Polysynth_factor.Mgcd
 module S = Polysynth_factor.Squarefree
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
 

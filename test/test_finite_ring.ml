@@ -6,7 +6,7 @@ module Sm = Polysynth_finite_ring.Smarandache
 module St = Polysynth_finite_ring.Stirling
 module C = Polysynth_finite_ring.Canonical
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
 

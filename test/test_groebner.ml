@@ -7,7 +7,7 @@ module E = Polysynth_expr.Expr
 module Qp = Polysynth_groebner.Qpoly
 module Gb = Polysynth_groebner.Buchberger
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
 

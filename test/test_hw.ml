@@ -12,7 +12,7 @@ let prop name ?(count = 200) arb f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
 
 let prog_of_strings specs =
-  Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly s)) specs)
+  Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly_exn s)) specs)
 
 (* netlist ---------------------------------------------------------------------- *)
 
@@ -677,7 +677,7 @@ let arb_system_env =
 let prop_netlist_eval_matches_poly =
   prop "netlist eval = polynomial eval mod 2^w" arb_system_env
     (fun (specs, (xv, yv)) ->
-      let polys = List.map Parse.poly specs in
+      let polys = List.map Parse.poly_exn specs in
       let prog = Prog.of_exprs (List.map E.of_poly polys) in
       let n = N.of_prog ~width:8 prog in
       let env v = if String.equal v "x" then Z.of_int xv else Z.of_int yv in
@@ -696,7 +696,7 @@ let prop_schedule_valid =
        ~print:(fun (specs, m, a) ->
          Printf.sprintf "%s | m=%d a=%d" (String.concat "; " specs) m a))
     (fun (specs, m, a) ->
-      let prog = Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly s)) specs) in
+      let prog = Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly_exn s)) specs) in
       let n = N.of_prog ~width:16 prog in
       let res = { Schedule.multipliers = m; adders = a } in
       let s = Schedule.list_schedule res n in
@@ -705,7 +705,7 @@ let prop_schedule_valid =
 
 let prop_cost_nonnegative =
   prop "cost report is sane" arb_system_env (fun (specs, _) ->
-      let prog = Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly s)) specs) in
+      let prog = Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly_exn s)) specs) in
       let r = Cost.of_prog ~width:16 prog in
       r.Cost.area >= 0 && r.Cost.delay >= 0.0
       && Cost.total_operators r

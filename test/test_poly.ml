@@ -7,7 +7,7 @@ let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
 let mono = Alcotest.testable Mono.pp Mono.equal
 
-let p = Parse.poly
+let p = Parse.poly_exn
 
 (* random polynomial generator ---------------------------------------------- *)
 
@@ -54,7 +54,7 @@ let test_mono_of_list () =
       ignore (Mono.of_list [ ("x", -1) ]))
 
 let test_mono_order () =
-  let m s = (Parse.poly s |> P.leading |> snd) in
+  let m s = (Parse.poly_exn s |> P.leading |> snd) in
   Alcotest.(check bool) "deg dominates" true (Mono.compare (m "x*y*z") (m "x^2") > 0);
   Alcotest.(check bool) "x^2 > x*y" true (Mono.compare (m "x^2") (m "x*y") > 0);
   Alcotest.(check bool) "x*y > x*z" true (Mono.compare (m "x*y") (m "x*z") > 0);
@@ -184,7 +184,7 @@ let test_parse_examples () =
 
 let test_parse_errors () =
   let bad s =
-    match Parse.poly s with
+    match Parse.poly_exn s with
     | exception Parse.Parse_error _ -> ()
     | _ -> Alcotest.fail ("expected parse error for " ^ s)
   in
@@ -196,9 +196,21 @@ let test_parse_errors () =
   bad "x x"
 
 let test_parse_system () =
-  let polys = Parse.system "x + y; x - y\n # comment line\n z^2 # trailing" in
+  let polys = Parse.system_exn "x + y; x - y\n # comment line\n z^2 # trailing" in
   Alcotest.(check int) "three polys" 3 (List.length polys);
   check_p "third" (p "z^2") (List.nth polys 2)
+
+let test_parse_result_api () =
+  (* the non-_exn entry points report failure as a value, never an exception *)
+  (match Parse.poly "x + y" with
+   | Ok q -> check_p "ok poly" (p "x + y") q
+   | Error (`Parse msg) -> Alcotest.fail msg);
+  (match Parse.poly "x +" with
+   | Error (`Parse _) -> ()
+   | Ok _ -> Alcotest.fail "expected Error for truncated input");
+  match Parse.system "x; y^2" with
+  | Ok polys -> Alcotest.(check int) "two polys" 2 (List.length polys)
+  | Error (`Parse msg) -> Alcotest.fail msg
 
 (* properties ------------------------------------------------------------------ *)
 
@@ -236,7 +248,7 @@ let prop_div_exact_product =
 
 let prop_parse_roundtrip =
   prop "to_string/parse roundtrip" arb_poly (fun a ->
-      P.equal a (Parse.poly (P.to_string a)))
+      P.equal a (Parse.poly_exn (P.to_string a)))
 
 let prop_primitive_content =
   prop "p = content * primitive (up to sign)" arb_poly (fun a ->
@@ -264,7 +276,7 @@ let prop_coeffs_roundtrip =
 
 let prop_pp_parses_back =
   prop "to_string output parses back" arb_poly (fun a ->
-      P.equal a (Parse.poly (P.to_string a)))
+      P.equal a (Parse.poly_exn (P.to_string a)))
 
 let prop_div_rem_remainder_irreducible =
   prop "no remainder term is reducible by the divisor's leading term"
@@ -328,6 +340,7 @@ let () =
           Alcotest.test_case "examples" `Quick test_parse_examples;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "system" `Quick test_parse_system;
+          Alcotest.test_case "result api" `Quick test_parse_result_api;
         ] );
       ( "properties",
         [

@@ -5,7 +5,7 @@ module Parse = Polysynth_poly.Parse
 module E = Polysynth_expr.Expr
 module Ted = Polysynth_ted.Ted
 
-let p = Parse.poly
+let p = Parse.poly_exn
 let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
 

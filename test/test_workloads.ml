@@ -56,7 +56,7 @@ let test_sg_reproduces_polynomials () =
   let points =
     List.concat_map (fun u -> List.map (fun v -> (u, v)) off) off
   in
-  let s = Polysynth_poly.Parse.poly "3*x^2 - 2*x*y + y - 5" in
+  let s = Polysynth_poly.Parse.poly_exn "3*x^2 - 2*x*y + y - 5" in
   let combination =
     P.add_list
       (List.map2
@@ -130,12 +130,12 @@ let test_examples_consistent () =
   Alcotest.(check int) "table 14.2 size" 4 (List.length Ex.table_14_2);
   Alcotest.(check int) "section 14.4.2 size" 3 (List.length Ex.section_14_4_2);
   (* P3 of table 14.2 is 5 Y3(x) Y2(y) + 3z^2 *)
-  let y3x = Polysynth_poly.Parse.poly "x^3 - 3*x^2 + 2*x" in
-  let y2y = Polysynth_poly.Parse.poly "y^2 - y" in
+  let y3x = Polysynth_poly.Parse.poly_exn "x^3 - 3*x^2 + 2*x" in
+  let y2y = Polysynth_poly.Parse.poly_exn "y^2 - y" in
   let expected =
     P.add
       (P.mul_scalar (Z.of_int 5) (P.mul y3x y2y))
-      (Polysynth_poly.Parse.poly "3*z^2")
+      (Polysynth_poly.Parse.poly_exn "3*z^2")
   in
   Alcotest.check poly "P3 falling structure" expected (List.nth Ex.table_14_2 2)
 
@@ -153,7 +153,7 @@ let test_fir () =
 
 let test_chebyshev () =
   let t = Alcotest.testable P.pp P.equal in
-  let pp = Polysynth_poly.Parse.poly in
+  let pp = Polysynth_poly.Parse.poly_exn in
   Alcotest.check t "T0" P.one (Ext.chebyshev ~degree:0);
   Alcotest.check t "T1" (pp "x") (Ext.chebyshev ~degree:1);
   Alcotest.check t "T2" (pp "2*x^2 - 1") (Ext.chebyshev ~degree:2);
@@ -205,12 +205,16 @@ let test_corpus_parses_and_synthesizes () =
           In_channel.with_open_text (Filename.concat dir file)
             In_channel.input_all
         in
-        let system = Polysynth_poly.Parse.system text in
+        let system = Polysynth_poly.Parse.system_exn text in
         Alcotest.(check bool) (file ^ " non-empty") true (List.length system > 0);
-        let r = Polysynth_core.Pipeline.run ~width:16
-            Polysynth_core.Pipeline.Proposed system in
+        let r, _ =
+          Polysynth_engine.Engine.run
+            (Polysynth_engine.Engine.Config.default ~width:16)
+            Polysynth_engine.Engine.Proposed system
+        in
         Alcotest.(check bool) (file ^ " synthesizes exactly") true
-          (Polysynth_core.Pipeline.verify system r.Polysynth_core.Pipeline.prog))
+          (Polysynth_engine.Engine.verify system
+             r.Polysynth_engine.Engine.prog))
       files
 
 (* random systems -------------------------------------------------------------------- *)
