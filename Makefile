@@ -1,14 +1,24 @@
 # Development / CI entry points.
 #
-#   make ci      build + full test suite + format check + benchmark smoke
+#   make ci      build + full test suite + format check + lint + benchmark smoke
 #   make build   compile everything
 #   make test    run the alcotest/qcheck suites
 #   make fmt     check formatting (skipped when ocamlformat is absent)
+#   make lint    verify + lint every benchmark and example system
+#                (exit 2 on a refuted/unknown certificate, 3 on
+#                error-severity findings)
 #   make bench   quick benchmark smoke run (tables + short timings)
 
-.PHONY: ci build test fmt bench
+.PHONY: ci build test fmt lint bench
 
-ci: build test fmt bench
+ci: build test fmt lint bench
+
+lint:
+	dune exec bin/polysynth.exe -- --benchmark all --check --lint
+	@for f in examples/data/*.poly; do \
+	  echo "== $$f"; \
+	  dune exec bin/polysynth.exe -- "$$f" --check --lint || exit $$?; \
+	done
 
 build:
 	dune build

@@ -1,24 +1,30 @@
 (* Differential fuzzer: random polynomial systems through every synthesis
-   method, cross-checked at three levels —
-   1. symbolic: every program expands back to the input system;
-   2. bit-accurate: the operator netlist agrees with direct polynomial
-      evaluation mod 2^width on random input vectors;
-   3. rewrites: the MCM shift-add lowering and the scheduler/binder
+   method, cross-checked at four levels —
+   1. certificates: the engine's own equivalence certifier must return
+      Verified for every method (a Refuted certificate prints its
+      counterexample input; Unknown is also a failure here, since these
+      systems are far below the expansion budget);
+   2. bit-accurate: the operator netlist and its MCM lowering agree with
+      direct polynomial evaluation mod 2^width on random input vectors
+      (Equiv.spot_check_netlist);
+   3. lint: the proposed decomposition carries no error-severity
+      static-analysis finding;
+   4. rewrites: the scheduler (typed result interface) and binder
       invariants hold on the synthesized netlist.
 
    Usage:  fuzz [ITERATIONS] [SEED]      (defaults: 200, 1)
    Exit code 0 = all checks passed. *)
 
-module Z = Polysynth_zint.Zint
 module P = Polysynth_poly.Poly
-module Prog = Polysynth_expr.Prog
 module Netlist = Polysynth_hw.Netlist
 module Mcm = Polysynth_hw.Mcm
 module Schedule = Polysynth_hw.Schedule
 module Bind = Polysynth_hw.Bind
-module Pipe = Polysynth_core.Pipeline
 module Engine = Polysynth_engine.Engine
 module Rand = Polysynth_workloads.Random_system
+module Equiv = Polysynth_analysis.Equiv
+module Diag = Polysynth_analysis.Diag
+module Suite = Polysynth_analysis.Suite
 
 type rng = { mutable state : int }
 
@@ -64,55 +70,63 @@ let () =
     let reports, _trace =
       Engine.compare_methods (Engine.Config.default ~width) system
     in
-    (* 1. symbolic exactness of every method *)
+    (* 1. every method's engine certificate is a proof of exactness *)
     List.iter
       (fun r ->
-        if not (Pipe.verify system r.Pipe.prog) then
-          fail "%s is not exact" (Pipe.method_label r.Pipe.method_name))
+        match r.Engine.cert with
+        | Equiv.Verified -> ()
+        | Equiv.Refuted ce ->
+          fail "%s refuted: %s"
+            (Engine.method_label r.Engine.method_name)
+            (Equiv.cert_to_string (Equiv.Refuted ce))
+        | Equiv.Unknown reason ->
+          fail "%s not certified: %s"
+            (Engine.method_label r.Engine.method_name)
+            reason)
       reports;
     (* 2. bit-accurate netlist checks on random vectors *)
     let proposed = List.nth reports 3 in
-    let n = Netlist.of_prog ~width proposed.Pipe.prog in
+    let n = Netlist.of_prog ~width proposed.Engine.prog in
     let opt = Mcm.optimize n in
-    for _ = 1 to 5 do
-      let point =
-        List.map
-          (fun v -> (v, Z.of_int (next rng (1 lsl width))))
-          (List.sort_uniq String.compare (List.concat_map P.vars system))
-      in
-      let env v =
-        match List.assoc_opt v point with Some x -> x | None -> Z.zero
-      in
-      let netlist_out = Netlist.eval n env in
-      let mcm_out = Netlist.eval opt env in
-      List.iteri
-        (fun k q ->
-          let name = Printf.sprintf "P%d" (k + 1) in
-          let expected = Z.erem_pow2 (P.eval env q) width in
-          (match List.assoc_opt name netlist_out with
-           | Some got when Z.equal got expected -> ()
-           | _ -> fail "netlist mismatch on %s" name);
-          match List.assoc_opt name mcm_out with
-          | Some got when Z.equal got expected -> ()
-          | _ -> fail "MCM mismatch on %s" name)
-        system
-    done;
-    (* 3. schedule + binding invariants *)
+    let spot label netlist =
+      match
+        Equiv.spot_check_netlist ~seed:(seed lxor next rng 1024) ~samples:5
+          system netlist
+      with
+      | Ok () -> ()
+      | Error ce ->
+        fail "%s mismatch: %s" label (Equiv.cert_to_string (Equiv.Refuted ce))
+    in
+    spot "netlist" n;
+    spot "MCM" opt;
+    (* 3. no error-severity lint finding on the proposed decomposition *)
+    let suite_cfg =
+      { (Suite.default ~width) with Suite.system = Some system; check = false }
+    in
+    let lint = Suite.analyze suite_cfg proposed.Engine.prog in
+    List.iter
+      (fun (d : Diag.t) ->
+        if d.Diag.severity = Diag.Error then
+          fail "lint: %s" (Diag.to_string d))
+      (Suite.diags lint);
+    (* 4. schedule + binding invariants *)
     let res =
       { Schedule.multipliers = 1 + next rng 3; adders = 1 + next rng 3 }
     in
-    let s = Schedule.list_schedule res n in
-    if not (Schedule.is_valid res n s) then fail "invalid schedule";
-    let b = Bind.bind res n s in
-    if not (Bind.is_consistent n s b) then fail "inconsistent binding";
+    (match Schedule.list_schedule res n with
+     | Error (`No_progress d) -> fail "scheduler stuck: %s" d.Schedule.message
+     | Ok s ->
+       if not (Schedule.is_valid res n s) then fail "invalid schedule";
+       let b = Bind.bind res n s in
+       if not (Bind.is_consistent n s b) then fail "inconsistent binding");
     (* stats *)
     let base = List.nth reports 2 in
-    if base.Pipe.cost.Polysynth_hw.Cost.area > 0 then
+    if base.Engine.cost.Polysynth_hw.Cost.area > 0 then
       improvements :=
         (100.
         *. (1.
-           -. float_of_int proposed.Pipe.cost.Polysynth_hw.Cost.area
-              /. float_of_int base.Pipe.cost.Polysynth_hw.Cost.area))
+           -. float_of_int proposed.Engine.cost.Polysynth_hw.Cost.area
+              /. float_of_int base.Engine.cost.Polysynth_hw.Cost.area))
         :: !improvements
   done;
   let avg =

@@ -23,6 +23,10 @@ module Fsmd = Polysynth_hw.Fsmd
 module Schedule = Polysynth_hw.Schedule
 module Engine = Polysynth_engine.Engine
 module Search = Polysynth_core.Search
+module Suite = Polysynth_analysis.Suite
+module Equiv = Polysynth_analysis.Equiv
+module Diag = Polysynth_analysis.Diag
+module Benchmarks = Polysynth_workloads.Benchmarks
 
 open Cmdliner
 
@@ -52,6 +56,9 @@ type options = {
   evaluate : bool;
   json : bool;
   show_trace : bool;
+  check : bool;
+  lint : bool;
+  benchmark : string option;
 }
 
 let config_of options =
@@ -77,20 +84,53 @@ let read_input = function
 
 let json_of_report (r : Engine.report) =
   Printf.sprintf
-    {|{"method":"%s","mults":%d,"adds":%d,"area":%d,"delay":%.3f,"labels":[%s]}|}
+    {|{"method":"%s","mults":%d,"adds":%d,"area":%d,"delay":%.3f,"labels":[%s],"certificate":%s}|}
     (Engine.method_label r.Engine.method_name)
     r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds r.Engine.cost.Cost.area
     r.Engine.cost.Cost.delay
     (String.concat ","
        (List.map (fun l -> Engine.Trace.json_string l) r.Engine.labels))
+    (Equiv.cert_to_json r.Engine.cert)
 
-let print_json ~options ~verified reports trace =
+let print_json ~options ~verified ?lint reports trace =
   Printf.printf
-    {|{"width":%d,"ring":%b,"verified":%b,"reports":[%s],"trace":%s}|}
+    {|{"width":%d,"ring":%b,"verified":%b,"reports":[%s],"lint":%s,"trace":%s}|}
     options.width options.use_ring verified
     (String.concat "," (List.map json_of_report reports))
+    (match lint with Some l -> Suite.to_json l | None -> "null")
     (Engine.Trace.to_json trace);
   print_newline ()
+
+(* ---- static analysis --------------------------------------------------- *)
+
+let is_verified = function Equiv.Verified -> true | _ -> false
+
+(* equivalence certification already ran inside the engine; the suite here
+   contributes well-formedness, width and redundancy findings *)
+let lint_of options ~ctx ?system prog =
+  let cfg =
+    {
+      (Suite.default ~width:options.width) with
+      Suite.ctx;
+      system;
+      check = false;
+    }
+  in
+  Suite.analyze cfg prog
+
+let print_lint l =
+  let ds = Suite.diags l in
+  if ds = [] then print_string "lint: no findings\n"
+  else List.iter (fun d -> Printf.printf "lint: %s\n" (Diag.to_string d)) ds
+
+(* 0 ok; 2 certificate not Verified; 3 error-severity lint findings *)
+let exit_code ~cert ~lint =
+  match cert with
+  | Some c when not (is_verified c) -> 2
+  | _ ->
+    (match lint with
+     | Some l when Diag.has_errors (Suite.diags l) -> 3
+     | _ -> 0)
 
 (* ---- evaluate mode ----------------------------------------------------- *)
 
@@ -105,21 +145,103 @@ let evaluate_program options text =
     let counts = Prog.counts prog in
     Printf.printf "given decomposition: MULT=%d ADD=%d area=%d delay=%.1f\n"
       counts.Dag.mults counts.Dag.adds cost.Cost.area cost.Cost.delay;
+    let config = config_of options in
+    let ctx = config.Engine.Config.ctx in
+    let lint = if options.lint then Some (lint_of options ~ctx prog) else None in
+    Option.iter print_lint lint;
     (* re-synthesize the expanded system for comparison *)
     let system = List.map snd (Prog.to_polys prog) in
-    let r, _trace =
-      Engine.run (config_of options) Engine.Proposed system
-    in
+    let r, _trace = Engine.run config Engine.Proposed system in
     Printf.printf "proposed flow:       MULT=%d ADD=%d area=%d delay=%.1f\n"
       r.Engine.counts.Dag.mults r.Engine.counts.Dag.adds
       r.Engine.cost.Cost.area r.Engine.cost.Cost.delay;
+    if options.check then
+      Printf.printf "certificate (proposed vs. given): %s\n"
+        (Equiv.cert_to_string r.Engine.cert);
     if r.Engine.cost.Cost.area < cost.Cost.area then
       Format.printf "better decomposition found:@.%a@." Prog.pp r.Engine.prog;
-    0
+    exit_code ~cert:(if options.check then Some r.Engine.cert else None) ~lint
+
+(* ---- benchmark mode ---------------------------------------------------- *)
+
+(* Run the built-in Table 14.3 systems, each at its published width, and
+   certify/lint every result.  This is the CI "lint" target: the exit code
+   is the worst per-benchmark {!exit_code}. *)
+let run_benchmarks options name =
+  let benches =
+    match name with
+    | "all" -> Ok (Benchmarks.all ())
+    | n ->
+      (match Benchmarks.by_name n with
+       | Some b -> Ok [ b ]
+       | None ->
+         Error
+           (Printf.sprintf
+              "unknown benchmark %s (try 'all', or one of: %s)" n
+              (String.concat ", "
+                 (List.map
+                    (fun b -> b.Benchmarks.name)
+                    (Benchmarks.all ())))))
+  in
+  match benches with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok benches ->
+    let worst = ref 0 in
+    List.iter
+      (fun (b : Benchmarks.t) ->
+        let options = { options with width = b.Benchmarks.width } in
+        let config = config_of options in
+        let r, _trace = Engine.run config options.method_name b.Benchmarks.polys in
+        let lint =
+          if options.lint then
+            Some
+              (lint_of options ~ctx:config.Engine.Config.ctx
+                 ~system:b.Benchmarks.polys r.Engine.prog)
+          else None
+        in
+        let code = exit_code ~cert:(Some r.Engine.cert) ~lint in
+        worst := Stdlib.max !worst code;
+        let errors, warnings =
+          match lint with
+          | None -> (0, 0)
+          | Some l ->
+            List.fold_left
+              (fun (e, w) (d : Diag.t) ->
+                match d.Diag.severity with
+                | Diag.Error -> (e + 1, w)
+                | Diag.Warning -> (e, w + 1)
+                | Diag.Info -> (e, w))
+              (0, 0) (Suite.diags l)
+        in
+        Printf.printf
+          "%-10s width=%-3d MULT=%-3d ADD=%-3d area=%-6d %-9s %d error(s), \
+           %d warning(s)\n"
+          b.Benchmarks.name b.Benchmarks.width r.Engine.counts.Dag.mults
+          r.Engine.counts.Dag.adds r.Engine.cost.Cost.area
+          (Equiv.cert_label r.Engine.cert)
+          errors warnings;
+        (match r.Engine.cert with
+         | Equiv.Verified -> ()
+         | c -> Printf.printf "  %s\n" (Equiv.cert_to_string c));
+        match lint with
+        | Some l when Diag.has_errors (Suite.diags l) ->
+          List.iter
+            (fun d ->
+              if d.Diag.severity = Diag.Error then
+                Printf.printf "  %s\n" (Diag.to_string d))
+            (Suite.diags l)
+        | _ -> ())
+      benches;
+    !worst
 
 (* ---- synthesis mode ---------------------------------------------------- *)
 
 let run_synthesis options =
+  match options.benchmark with
+  | Some name -> run_benchmarks options name
+  | None ->
   match read_input options.input with
   | exception Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -143,9 +265,13 @@ let run_synthesis options =
           ([ r ], t)
       in
       let main_report = List.nth reports (List.length reports - 1) in
-      let verified =
-        Engine.verify ?ctx:config.Engine.Config.ctx polys
-          main_report.Engine.prog
+      let verified = is_verified main_report.Engine.cert in
+      let lint =
+        if options.lint then
+          Some
+            (lint_of options ~ctx:config.Engine.Config.ctx ~system:polys
+               main_report.Engine.prog)
+        else None
       in
       let print_report r =
         Printf.printf "%-12s MULT=%d ADD=%d area=%d delay=%.1f%s\n"
@@ -156,11 +282,19 @@ let run_synthesis options =
            | [] -> ""
            | labels -> "  [" ^ String.concat "," labels ^ "]")
       in
-      if options.json then print_json ~options ~verified reports trace
+      if options.json then print_json ~options ~verified ?lint reports trace
       else begin
         List.iter print_report reports;
         Printf.printf "verified: %b%s\n" verified
           (if options.use_ring then " (as bit-vector functions)" else " (exact)");
+        if options.check then
+          List.iter
+            (fun r ->
+              Printf.printf "certificate (%s): %s\n"
+                (Engine.method_label r.Engine.method_name)
+                (Equiv.cert_to_string r.Engine.cert))
+            reports;
+        Option.iter print_lint lint;
         if options.show_trace then print_string (Engine.Trace.to_text trace)
       end;
       let width = options.width in
@@ -232,7 +366,7 @@ let run_synthesis options =
          write path
            (Cemit.emit ~func_name:"polysynth_dut" ~self_check:16
               (Lazy.force netlist)));
-      if verified then 0 else 2
+      exit_code ~cert:(Some main_report.Engine.cert) ~lint
 
 (* ---- command line ------------------------------------------------------ *)
 
@@ -386,12 +520,38 @@ let trace_arg =
   let doc = "Print the engine trace after the text report." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let check_arg =
+  let doc =
+    "Print the equivalence certificate of every report: 'verified' is a \
+     proof (canonical forms over Z_2^m under --ring, exact identity \
+     otherwise), 'refuted' comes with a concrete counterexample input.  \
+     The exit code is 2 unless every requested certificate is 'verified'."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let lint_arg =
+  let doc =
+    "Run the static-analysis passes (well-formedness, width soundness, \
+     redundancy) on the resulting decomposition and print their findings.  \
+     Error-severity findings set exit code 3."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+let benchmark_arg =
+  let doc =
+    "Run a built-in Table 14.3 benchmark ('all' for the whole suite) at \
+     its published width instead of reading FILE; combines with --check \
+     and --lint."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "benchmark" ] ~docv:"NAME" ~doc)
+
 (* all flags fold into the one options record *)
 let options_term =
   let make input method_name width use_ring objective jobs time_budget
       candidate_budget no_cache verilog_out dot_out testbench_out fsmd_out
       c_out use_mcm show_power show_range pipeline_period show_program
-      compare_all evaluate json show_trace =
+      compare_all evaluate json show_trace check lint benchmark =
     {
       input;
       method_name;
@@ -416,6 +576,9 @@ let options_term =
       evaluate;
       json;
       show_trace;
+      check;
+      lint;
+      benchmark;
     }
   in
   Term.(
@@ -423,7 +586,8 @@ let options_term =
     $ jobs_arg $ time_budget_arg $ candidate_budget_arg $ no_cache_arg
     $ verilog_arg $ dot_arg $ testbench_arg $ fsmd_arg $ c_arg $ mcm_arg
     $ power_arg $ range_arg $ pipeline_arg $ show_program_arg $ compare_arg
-    $ evaluate_arg $ json_arg $ trace_arg)
+    $ evaluate_arg $ json_arg $ trace_arg $ check_arg $ lint_arg
+    $ benchmark_arg)
 
 let cmd =
   let doc = "area-driven synthesis of polynomial datapath systems" in

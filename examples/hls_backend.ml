@@ -39,16 +39,20 @@ let () =
   Format.printf "scheduling (2-cycle multipliers, 1-cycle adders):@.";
   List.iter
     (fun (m, a) ->
-      let s =
+      match
         Schedule.list_schedule { Schedule.multipliers = m; adders = a } netlist
-      in
-      Format.printf "  %d multiplier(s), %d adder(s): %d steps@." m a
-        s.Schedule.latency)
+      with
+      | Ok s ->
+        Format.printf "  %d multiplier(s), %d adder(s): %d steps@." m a
+          s.Schedule.latency
+      | Error (`No_progress d) ->
+        Format.printf "  %d multiplier(s), %d adder(s): stuck (%s)@." m a
+          d.Schedule.message)
     [ (4, 4); (2, 2); (1, 2); (1, 1) ];
 
   (* bind the 1-multiplier schedule onto units and registers *)
   let res = { Schedule.multipliers = 1; adders = 1 } in
-  let s = Schedule.list_schedule res netlist in
+  let s = Schedule.list_schedule_exn res netlist in
   let b = Bind.bind res netlist s in
   Format.printf
     "@.binding at 1 multiplier / 1 adder: %d multiplier(s), %d adder(s), %d      register(s), %d mux input(s)@."

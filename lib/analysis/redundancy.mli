@@ -1,0 +1,23 @@
+(** Redundancy lint: structural waste a decomposition or netlist carries.
+
+    Nothing here affects correctness — these are quality findings, which is
+    why every code in this pass is [Warning] or [Info].  Duplicate detection
+    works up to representatives: a binding whose right-hand side matches an
+    earlier binding {e after} rewriting every known duplicate to its first
+    occurrence is itself flagged, so chains of copies collapse to one
+    finding per copy. *)
+
+module Prog := Polysynth_expr.Prog
+module Netlist := Polysynth_hw.Netlist
+
+val lint_prog : Prog.t -> Diag.t list
+(** Codes: [lint.duplicate-binding] (warning — same value as an earlier
+    temporary), [lint.single-use] (info — temporary referenced exactly
+    once; inlining it would lose nothing), [lint.trivial-binding] (info —
+    the right-hand side is a bare constant or variable). *)
+
+val lint_netlist : Netlist.t -> Diag.t list
+(** Codes: [lint.duplicate-cell] (warning — same operator and fanin as an
+    earlier cell), [lint.dead-cell] (warning — not reachable from any
+    output), [lint.trivial-cell] (info — multiplication by 0 or 1, or a
+    shift by 0). *)

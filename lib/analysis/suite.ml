@@ -1,0 +1,101 @@
+module Poly = Polysynth_poly.Poly
+module Prog = Polysynth_expr.Prog
+module Netlist = Polysynth_hw.Netlist
+module Canonical = Polysynth_finite_ring.Canonical
+
+type config = {
+  ctx : Canonical.ctx option;
+  width : int;
+  system : Poly.t list option;
+  check : bool;
+  lint : bool;
+  samples : int;
+}
+
+let default ~width =
+  { ctx = None; width; system = None; check = true; lint = true; samples = 8 }
+
+type report = {
+  wellformed : Diag.t list;
+  widths : Diag.t list;
+  redundancy : Diag.t list;
+  cert : Equiv.cert option;
+}
+
+let not_wellformed cfg =
+  if cfg.check && cfg.system <> None then
+    Some (Equiv.Unknown "program is not well-formed")
+  else None
+
+let analyze cfg prog =
+  let wf_prog = Wellformed.check_prog prog in
+  if Diag.has_errors wf_prog then
+    (* the program cannot safely be lowered to a netlist *)
+    { wellformed = wf_prog; widths = []; redundancy = [];
+      cert = not_wellformed cfg }
+  else
+    let n = Netlist.of_prog ~width:cfg.width prog in
+    let wellformed =
+      List.sort Diag.compare (wf_prog @ Wellformed.check_netlist n)
+    in
+    if Diag.has_errors wellformed then
+      { wellformed; widths = []; redundancy = []; cert = not_wellformed cfg }
+    else
+      let widths =
+        if cfg.lint then
+          let mode =
+            match cfg.ctx with Some _ -> Widths.Ring | None -> Widths.Exact
+          in
+          Widths.check_netlist ~mode n
+        else []
+      in
+      let redundancy =
+        if cfg.lint then
+          List.sort Diag.compare
+            (Redundancy.lint_prog prog @ Redundancy.lint_netlist n)
+        else []
+      in
+      let cert =
+        if cfg.check then
+          Option.map
+            (fun system ->
+              Equiv.certify ?ctx:cfg.ctx ~samples:cfg.samples system prog)
+            cfg.system
+        else None
+      in
+      { wellformed; widths; redundancy; cert }
+
+let diags r =
+  List.sort Diag.compare (r.wellformed @ r.widths @ r.redundancy)
+
+let exit_code r =
+  match r.cert with
+  | Some (Equiv.Refuted _) | Some (Equiv.Unknown _) -> 2
+  | _ -> if Diag.has_errors (diags r) then 3 else 0
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  let section title = function
+    | [] -> ()
+    | ds ->
+      Buffer.add_string buf (title ^ ":\n");
+      List.iter
+        (fun d -> Buffer.add_string buf ("  " ^ Diag.to_string d ^ "\n"))
+        ds
+  in
+  section "well-formedness" r.wellformed;
+  section "widths" r.widths;
+  section "redundancy" r.redundancy;
+  (match r.cert with
+   | Some c ->
+     Buffer.add_string buf
+       (Printf.sprintf "certificate: %s\n" (Equiv.cert_to_string c))
+   | None -> ());
+  if Buffer.length buf = 0 then "no findings\n" else Buffer.contents buf
+
+let to_json r =
+  let arr ds = "[" ^ String.concat "," (List.map Diag.to_json ds) ^ "]" in
+  Printf.sprintf
+    {|{"wellformed":%s,"widths":%s,"redundancy":%s,"certificate":%s}|}
+    (arr r.wellformed) (arr r.widths) (arr r.redundancy)
+    (match r.cert with Some c -> Equiv.cert_to_json c | None -> "null")

@@ -1,0 +1,47 @@
+(** The analysis suite: one entry point running every pass in order.
+
+    Pass ordering is load-bearing.  Well-formedness runs first and gates
+    everything else: width propagation, equivalence certification and the
+    redundancy lint all assume a single-assignment, acyclic program, so a
+    structurally broken input yields only the well-formedness findings and
+    an [Unknown] certificate rather than garbage downstream results. *)
+
+module Poly := Polysynth_poly.Poly
+module Prog := Polysynth_expr.Prog
+module Canonical := Polysynth_finite_ring.Canonical
+
+type config = {
+  ctx : Canonical.ctx option;
+      (** ring context; selects [Ring] width mode and [Z_2^m] certification *)
+  width : int;  (** datapath width the program is lowered at *)
+  system : Poly.t list option;
+      (** source system to certify against; [None] skips certification *)
+  check : bool;  (** run equivalence certification *)
+  lint : bool;  (** run width and redundancy passes *)
+  samples : int;  (** random pre-filter effort for certification *)
+}
+
+val default : width:int -> config
+(** Everything on, no ring context, no source system, 8 samples. *)
+
+type report = {
+  wellformed : Diag.t list;
+  widths : Diag.t list;
+  redundancy : Diag.t list;
+  cert : Equiv.cert option;
+      (** [None] only when certification was not requested or no source
+          system was given *)
+}
+
+val analyze : config -> Prog.t -> report
+
+val diags : report -> Diag.t list
+(** All findings of all passes, sorted by severity. *)
+
+val exit_code : report -> int
+(** The CLI/CI contract: [2] when the certificate is [Refuted] or
+    [Unknown] (the result is not proven), [3] when any finding has
+    [Error] severity, [0] otherwise. *)
+
+val to_text : report -> string
+val to_json : report -> string

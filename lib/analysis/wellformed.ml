@@ -1,0 +1,137 @@
+module Expr = Polysynth_expr.Expr
+module Prog = Polysynth_expr.Prog
+module Netlist = Polysynth_hw.Netlist
+
+(* ---- programs --------------------------------------------------------- *)
+
+let check_prog (prog : Prog.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if prog.Prog.outputs = [] then
+    add (Diag.error ~code:"wf.no-outputs" Diag.Program "program has no outputs");
+  (* definition index of every binding name; duplicates keep the first *)
+  let def_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, _) ->
+      if Hashtbl.mem def_index name then
+        add
+          (Diag.error ~code:"wf.duplicate-binding" (Diag.Binding name)
+             "name is assigned more than once (single-assignment form \
+              required)")
+      else Hashtbl.add def_index name i)
+    prog.Prog.bindings;
+  let seen_outputs = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen_outputs name then
+        add
+          (Diag.error ~code:"wf.duplicate-output" (Diag.Output name)
+             "output name is produced more than once")
+      else Hashtbl.add seen_outputs name ())
+    prog.Prog.outputs;
+  (* any variable that is also a binding name refers to that binding; a
+     reference from binding [i] to a binding defined at [j >= i] breaks
+     dependency order *)
+  let used = Hashtbl.create 16 in
+  let scan_refs here_index location e =
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt def_index v with
+        | None -> () (* a free variable: an input of the datapath *)
+        | Some j ->
+          Hashtbl.replace used v ();
+          (match here_index with
+           | Some i when j = i ->
+             add
+               (Diag.error ~code:"wf.self-reference" location
+                  (Printf.sprintf "binding %s refers to itself" v))
+           | Some i when j > i ->
+             add
+               (Diag.error ~code:"wf.use-before-def" location
+                  (Printf.sprintf
+                     "reference to %s, which is only defined later" v))
+           | _ -> ()))
+      (Expr.vars e)
+  in
+  List.iteri
+    (fun i (name, e) -> scan_refs (Some i) (Diag.Binding name) e)
+    prog.Prog.bindings;
+  List.iter
+    (fun (name, e) -> scan_refs None (Diag.Output name) e)
+    prog.Prog.outputs;
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem used name) then
+        add
+          (Diag.warning ~code:"wf.dead-binding" (Diag.Binding name)
+             "temporary is never used by a later binding or output"))
+    prog.Prog.bindings;
+  List.sort Diag.compare !diags
+
+(* ---- netlists --------------------------------------------------------- *)
+
+let arity (op : Netlist.op) =
+  match op with
+  | Netlist.Input _ | Netlist.Constant _ -> 0
+  | Netlist.Negate | Netlist.Cmult _ | Netlist.Shl _ -> 1
+  | Netlist.Add2 | Netlist.Sub2 | Netlist.Mult2 -> 2
+
+let check_netlist (n : Netlist.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if n.Netlist.width < 1 then
+    add
+      (Diag.error ~code:"wf.width" Diag.Program
+         (Printf.sprintf "datapath width %d is not positive" n.Netlist.width));
+  let num = Array.length n.Netlist.cells in
+  Array.iteri
+    (fun i cell ->
+      let loc = Diag.Cell i in
+      if cell.Netlist.id <> i then
+        add
+          (Diag.error ~code:"wf.cell-id" loc
+             (Printf.sprintf "cell id %d does not match its position %d"
+                cell.Netlist.id i));
+      let expected = arity cell.Netlist.op in
+      let got = List.length cell.Netlist.fanin in
+      if got <> expected then
+        add
+          (Diag.error ~code:"wf.arity" loc
+             (Printf.sprintf "operator expects %d operand%s, has %d" expected
+                (if expected = 1 then "" else "s")
+                got));
+      (match cell.Netlist.op with
+       | Netlist.Shl k when k < 0 ->
+         add
+           (Diag.error ~code:"wf.shift-amount" loc
+              (Printf.sprintf "negative shift amount %d" k))
+       | _ -> ());
+      List.iter
+        (fun src ->
+          if src < 0 || src >= num then
+            add
+              (Diag.error ~code:"wf.fanin-range" loc
+                 (Printf.sprintf "fanin %d is outside the cell array" src))
+          else if src >= i then
+            add
+              (Diag.error ~code:"wf.fanin-order" loc
+                 (Printf.sprintf
+                    "fanin %d does not precede its user (cells must be \
+                     topologically ordered)"
+                    src)))
+        cell.Netlist.fanin)
+    n.Netlist.cells;
+  let seen_outputs = Hashtbl.create 8 in
+  List.iter
+    (fun (name, id) ->
+      if id < 0 || id >= num then
+        add
+          (Diag.error ~code:"wf.output-range" (Diag.Output name)
+             (Printf.sprintf "output refers to cell %d, outside the array" id));
+      if Hashtbl.mem seen_outputs name then
+        add
+          (Diag.error ~code:"wf.duplicate-output" (Diag.Output name)
+             "output name is produced more than once")
+      else Hashtbl.add seen_outputs name ())
+    n.Netlist.outputs;
+  List.sort Diag.compare !diags

@@ -1,0 +1,23 @@
+(** Structural well-formedness of decomposition scripts and netlists.
+
+    These are the checks every later pass assumes: a {!Prog.t} must be in
+    single-assignment form with bindings in dependency order (no
+    use-before-def, no self-reference, no duplicate names), and a
+    {!Netlist.t} must be a topologically ordered DAG of correctly-ar'd
+    cells with in-range output references.  Violations are [Error]
+    findings; a binding that no later binding or output ever reads (a
+    dangling temporary) is a [Warning]. *)
+
+module Prog := Polysynth_expr.Prog
+module Netlist := Polysynth_hw.Netlist
+
+val check_prog : Prog.t -> Diag.t list
+(** Codes: [wf.duplicate-binding], [wf.duplicate-output],
+    [wf.use-before-def], [wf.self-reference], [wf.no-outputs] (errors);
+    [wf.dead-binding] (warning). *)
+
+val check_netlist : Netlist.t -> Diag.t list
+(** Codes: [wf.cell-id], [wf.fanin-range], [wf.fanin-order], [wf.arity],
+    [wf.shift-amount], [wf.output-range], [wf.duplicate-output],
+    [wf.width] (all errors).  An empty list proves the cell array is a
+    topologically ordered DAG. *)

@@ -1,0 +1,70 @@
+module Netlist = Polysynth_hw.Netlist
+module Range = Polysynth_hw.Range
+
+type mode = Exact | Ring
+
+let op_label (op : Netlist.op) =
+  match op with
+  | Netlist.Input v -> "input " ^ v
+  | Netlist.Constant _ -> "constant"
+  | Netlist.Negate -> "negation"
+  | Netlist.Add2 -> "addition"
+  | Netlist.Sub2 -> "subtraction"
+  | Netlist.Mult2 -> "multiplication"
+  | Netlist.Cmult _ -> "constant multiplication"
+  | Netlist.Shl k -> Printf.sprintf "left shift by %d" k
+
+let check_netlist ?input_range ?(max_findings = 20) ~mode (n : Netlist.t) =
+  let ranges = Range.analyze ?input_range n in
+  let width = n.Netlist.width in
+  let findings =
+    Array.to_list n.Netlist.cells
+    |> List.filter_map (fun cell ->
+           match cell.Netlist.op with
+           | Netlist.Input _ ->
+             (* an input holds the raw operand: nothing to truncate (its
+                unsigned range [0, 2^w) is "w+1 bits" only in two's
+                complement, a representation it never takes) *)
+             None
+           | _ ->
+             let iv = ranges.(cell.Netlist.id) in
+             let need = Range.required_width iv in
+             if need <= width then None else Some (cell, need))
+  in
+  let total = List.length findings in
+  let shown = if total > max_findings then max_findings else total in
+  let head =
+    List.filteri (fun i _ -> i < shown) findings
+    |> List.map (fun ((cell : Netlist.cell), need) ->
+           let loc = Diag.Cell cell.Netlist.id in
+           match mode with
+           | Ring ->
+             Diag.info ~code:"width.wrap" loc
+               (Printf.sprintf
+                  "%s needs %d bits, truncated to the %d-bit datapath \
+                   (intentional Z_2^%d wrap-around)"
+                  (op_label cell.Netlist.op) need width width)
+           | Exact ->
+             Diag.warning ~code:"width.overflow" loc
+               (Printf.sprintf
+                  "%s needs %d bits but the datapath holds %d: the result \
+                   silently wraps for some inputs"
+                  (op_label cell.Netlist.op) need width))
+  in
+  let summary =
+    if total > shown then
+      let code, mk =
+        match mode with
+        | Ring -> ("width.wrap", Diag.info)
+        | Exact -> ("width.overflow", Diag.warning)
+      in
+      [
+        mk ~code Diag.Program
+          (Printf.sprintf "... and %d more cell%s outgrow the %d-bit datapath"
+             (total - shown)
+             (if total - shown = 1 then "" else "s")
+             width);
+      ]
+    else []
+  in
+  head @ summary

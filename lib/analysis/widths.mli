@@ -1,0 +1,31 @@
+(** Width soundness: does every intermediate fit the declared datapath?
+
+    Interval (value-range) propagation over the netlist — the machinery of
+    {!Polysynth_hw.Range} — proves, for every cell, the exact reachable
+    interval before wrap-around and the two's-complement width that would
+    hold it.  A cell whose required width exceeds the declared datapath
+    width is:
+
+    - an {e intentional} [Z_2^m] truncation when the system was
+      synthesized under ring semantics ([Ring] mode) — reported as [Info],
+      because wrap-around is the defined behaviour there;
+    - a {e silent overflow hazard} under exact integer semantics
+      ([Exact] mode) — reported as [Warning]: for some input vector the
+      hardware result differs from the integer polynomial. *)
+
+module Netlist := Polysynth_hw.Netlist
+module Range := Polysynth_hw.Range
+
+type mode =
+  | Exact  (** results must equal the integer polynomial *)
+  | Ring  (** results are defined modulo [2^width] *)
+
+val check_netlist :
+  ?input_range:(string -> Range.interval) ->
+  ?max_findings:int ->
+  mode:mode ->
+  Netlist.t ->
+  Diag.t list
+(** Codes: [width.overflow] (warning, [Exact] mode), [width.wrap] (info,
+    [Ring] mode).  At most [max_findings] (default 20) per-cell findings
+    are emitted, followed by one summary diagnostic counting the rest. *)

@@ -10,6 +10,7 @@ module Dag = Polysynth_expr.Dag
 module Cost = Polysynth_hw.Cost
 module Canonical = Polysynth_finite_ring.Canonical
 module Extract = Polysynth_cse.Extract
+module Equiv = Polysynth_analysis.Equiv
 
 type method_name = Direct | Horner | Factor_cse | Proposed
 
@@ -25,6 +26,7 @@ type report = {
   counts : Dag.counts;
   cost : Cost.report;
   labels : string list;
+  cert : Equiv.cert;
 }
 
 (* ---- configuration ---------------------------------------------------- *)
@@ -45,6 +47,7 @@ module Config = struct
     sweeps : int;
     max_blocks : int option;
     cache : bool;
+    certify : bool;
   }
 
   let default ~width =
@@ -61,6 +64,7 @@ module Config = struct
       sweeps = 4;
       max_blocks = None;
       cache = true;
+      certify = true;
     }
 
   let domains t =
@@ -89,6 +93,7 @@ module Trace = struct
     cache_hits : int;
     cache_misses : int;
     budget_exhausted : bool;
+    certificates : (string * string) list;
     wall : float;
   }
 
@@ -111,6 +116,11 @@ module Trace = struct
          (if t.cache_misses = 1 then "" else "es"));
     if t.budget_exhausted then
       Buffer.add_string b "  budget exhausted: the search stopped early\n";
+    List.iter
+      (fun (m, status) ->
+        Buffer.add_string b
+          (Printf.sprintf "  certificate: %-12s %s\n" m status))
+      t.certificates;
     Buffer.contents b
 
   let pp fmt t = Format.pp_print_string fmt (to_text t)
@@ -136,10 +146,15 @@ module Trace = struct
       Printf.sprintf {|{"name":%s,"wall_ms":%.3f,"candidates":%d}|}
         (json_string s.name) (1000. *. s.wall) s.candidates
     in
+    let certificate (m, status) =
+      Printf.sprintf {|{"method":%s,"status":%s}|} (json_string m)
+        (json_string status)
+    in
     Printf.sprintf
-      {|{"parallelism":%d,"wall_ms":%.3f,"cache":{"hits":%d,"misses":%d},"budget_exhausted":%b,"stages":[%s]}|}
+      {|{"parallelism":%d,"wall_ms":%.3f,"cache":{"hits":%d,"misses":%d},"budget_exhausted":%b,"certificates":[%s],"stages":[%s]}|}
       t.parallelism (1000. *. t.wall) t.cache_hits t.cache_misses
       t.budget_exhausted
+      (String.concat "," (List.map certificate t.certificates))
       (String.concat "," (List.map stage t.stages))
 end
 
@@ -298,6 +313,7 @@ let report_of (config : Config.t) method_name prog labels =
     counts = Prog.counts prog;
     cost = Cost.of_prog ~model:config.model ~width:config.width prog;
     labels;
+    cert = Equiv.Unknown "not certified";
   }
 
 let obtain_store (config : Config.t) ~pmap key polys =
@@ -397,6 +413,7 @@ let proposed (config : Config.t) ~prefix stages budget_ok polys =
           counts = sel.Search.counts;
           cost = sel.Search.cost;
           labels = sel.Search.labels;
+          cert = Equiv.Unknown "not certified";
         }
   in
   let variants =
@@ -470,12 +487,27 @@ let baseline (config : Config.t) ~prefix stages key method_name polys =
       in
       (report_of config method_name prog [], 1))
 
+(* Certification is the engine's last stage per method: the selected
+   decomposition is checked against the source system and the resulting
+   certificate is carried on the report and summarized in the trace. *)
+let certify_report (config : Config.t) ~prefix stages certs polys r =
+  if not config.Config.certify then r
+  else begin
+    let cert =
+      stage stages (prefix ^ "certify") (fun () ->
+          (Equiv.certify ?ctx:config.Config.ctx polys r.prog, 1))
+    in
+    certs := (method_label r.method_name, Equiv.cert_label cert) :: !certs;
+    { r with cert }
+  end
+
 let with_trace (config : Config.t) f =
   let t0 = now () in
   let h0, m0 = Memo.stats () in
   let stages = ref [] in
+  let certs = ref [] in
   let budget_ok, budget_tripped = make_budget config in
-  let result = f stages budget_ok in
+  let result = f stages certs budget_ok in
   let h1, m1 = Memo.stats () in
   ( result,
     {
@@ -484,22 +516,26 @@ let with_trace (config : Config.t) f =
       cache_hits = h1 - h0;
       cache_misses = m1 - m0;
       budget_exhausted = budget_tripped ();
+      certificates = List.rev !certs;
       wall = now () -. t0;
     } )
 
 let run config method_name polys =
-  with_trace config (fun stages budget_ok ->
+  with_trace config (fun stages certs budget_ok ->
       let prefix = method_label method_name ^ "/" in
-      match method_name with
-      | Proposed -> proposed config ~prefix stages budget_ok polys
-      | m ->
-        let key = Memo.key ~ctx:config.Config.ctx polys in
-        baseline config ~prefix stages key m polys)
+      let r =
+        match method_name with
+        | Proposed -> proposed config ~prefix stages budget_ok polys
+        | m ->
+          let key = Memo.key ~ctx:config.Config.ctx polys in
+          baseline config ~prefix stages key m polys
+      in
+      certify_report config ~prefix stages certs polys r)
 
 let synthesize config polys = run config Proposed polys
 
 let compare_methods config polys =
-  with_trace config (fun stages budget_ok ->
+  with_trace config (fun stages certs budget_ok ->
       let key = Memo.key ~ctx:config.Config.ctx polys in
       (* Proposed first: it builds (and caches) the representation store
          the baselines are then served from *)
@@ -509,22 +545,15 @@ let compare_methods config polys =
       let factor =
         baseline config ~prefix:"factor+cse/" stages key Factor_cse polys
       in
-      [ direct; horner; factor; prop ])
+      List.map
+        (fun r ->
+          let prefix = method_label r.method_name ^ "/" in
+          certify_report config ~prefix stages certs polys r)
+        [ direct; horner; factor; prop ])
 
 let verify ?ctx polys prog =
-  let produced = Prog.to_polys prog in
-  let rec check i = function
-    | [] -> true
-    | p :: rest ->
-      let name = Printf.sprintf "P%d" (i + 1) in
-      (match List.assoc_opt name produced with
-       | None -> false
-       | Some q ->
-         let ok =
-           match ctx with
-           | Some ctx -> Canonical.equal_functions ctx p q
-           | None -> Poly.equal p q
-         in
-         ok && check (i + 1) rest)
-  in
-  check 0 polys
+  (* an uncapped certification never answers [Unknown]: the pre-inlining
+     estimate saturates far below this budget *)
+  match Equiv.certify ?ctx ~size_budget:max_int polys prog with
+  | Equiv.Verified -> true
+  | Equiv.Refuted _ | Equiv.Unknown _ -> false

@@ -30,6 +30,7 @@ module Prog := Polysynth_expr.Prog
 module Dag := Polysynth_expr.Dag
 module Cost := Polysynth_hw.Cost
 module Canonical := Polysynth_finite_ring.Canonical
+module Equiv := Polysynth_analysis.Equiv
 
 type method_name = Direct | Horner | Factor_cse | Proposed
 
@@ -44,6 +45,12 @@ type report = {
       (** chosen representation per polynomial (Proposed only; a single
           variant label when an integrated decomposition won; empty for
           the baselines) *)
+  cert : Equiv.cert;
+      (** equivalence certificate for [prog] against the source system:
+          [Verified] is a proof (canonical forms over [Z_2^m] under a ring
+          context, exact identity otherwise), [Refuted] carries a concrete
+          counterexample input.  [Unknown "not certified"] when the run
+          had [certify = false]. *)
 }
 
 module Config : sig
@@ -70,11 +77,15 @@ module Config : sig
     sweeps : int;  (** coordinate-descent passes for large systems *)
     max_blocks : int option;  (** cap for block discovery *)
     cache : bool;  (** consult/fill the process-wide memo *)
+    certify : bool;
+        (** run the equivalence certifier on every selected decomposition
+            (a ["<method>/certify"] trace stage); off, reports carry
+            [Unknown "not certified"] *)
   }
 
   val default : width:int -> t
   (** [Full] strategy, [Min_area] objective, auto parallelism, no
-      budgets, caching on. *)
+      budgets, caching on, certification on. *)
 
   val domains : t -> int
   (** The resolved degree of parallelism. *)
@@ -99,6 +110,9 @@ module Trace : sig
     cache_misses : int;
     budget_exhausted : bool;
         (** a budget stopped some stage before it finished *)
+    certificates : (string * string) list;
+        (** per method, the certificate status ("verified" / "refuted" /
+            "unknown"), in certification order *)
     wall : float;  (** whole-run wall time, seconds *)
   }
 
@@ -130,7 +144,8 @@ val compare_methods : Config.t -> Poly.t list -> report list * Trace.t
 val verify : ?ctx:Canonical.ctx -> Poly.t list -> Prog.t -> bool
 (** Does the program compute the system?  Exact polynomial equality when
     no ring context is given; equality of bit-vector functions (via
-    canonical forms) when one is. *)
+    canonical forms) when one is.  A boolean shorthand for
+    [Polysynth_analysis.Equiv.certify] with an uncapped size budget. *)
 
 val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** The engine's domain-pool map: work-stealing over at most [domains]

@@ -14,6 +14,7 @@ type report = Engine.report = {
   counts : Polysynth_expr.Dag.counts;
   cost : Polysynth_hw.Cost.report;
   labels : string list;
+  cert : Polysynth_analysis.Equiv.cert;
 }
 
 (* The legacy call sites were sequential; keep them so ([parallelism = 1])

@@ -28,6 +28,8 @@ type report = Engine.report = {
   cost : Cost.report;  (** estimated hardware area and delay *)
   labels : string list;  (** chosen representation per polynomial
                              (Proposed only; empty otherwise) *)
+  cert : Polysynth_analysis.Equiv.cert;
+      (** equivalence certificate for [prog] against the source system *)
 }
 
 val run :

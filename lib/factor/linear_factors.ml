@@ -25,12 +25,22 @@ let check_univariate v u =
   | [] -> ()
   | _ :: _ -> invalid_arg "Linear_factors: polynomial is not univariate"
 
+(* [check_univariate] guarantees every v-coefficient is a constant; a
+   non-constant here means [Poly.coeffs_in] broke that contract *)
+let const_coeff c =
+  match Poly.to_const_opt c with
+  | Some c -> c
+  | None ->
+    failwith
+      "Linear_factors: internal error: non-constant coefficient in a \
+       univariate polynomial"
+
 let eval_at v num den u =
   (* u(num/den) * den^deg: integer by clearing denominators *)
   let deg = Poly.degree_in v u in
   List.fold_left
     (fun acc (k, c) ->
-      let c = match Poly.to_const_opt c with Some c -> c | None -> assert false in
+      let c = const_coeff c in
       Z.add acc (Z.mul c (Z.mul (Z.pow num k) (Z.pow den (deg - k)))))
     Z.zero (Poly.coeffs_in v u)
 
@@ -48,13 +58,13 @@ let roots v u =
   in
   let trailing =
     match List.assoc_opt 0 shifted with
-    | Some c -> (match Poly.to_const_opt c with Some c -> c | None -> assert false)
+    | Some c -> const_coeff c
     | None -> Z.one
   in
   let leading =
     let dmax = List.fold_left (fun acc (k, _) -> Stdlib.max acc k) 0 shifted in
     match List.assoc_opt dmax shifted with
-    | Some c -> (match Poly.to_const_opt c with Some c -> c | None -> assert false)
+    | Some c -> const_coeff c
     | None -> Z.one
   in
   let candidates =

@@ -7,23 +7,25 @@ let normalize p =
   else if Z.is_negative (fst (Poly.leading p)) then Poly.neg p
   else p
 
+(* [Poly.degree_in v p = d] promises a degree-[d] coefficient; a miss
+   means [degree_in] and [coeffs_in] disagree *)
+let leading_coeff_in v d p =
+  match List.assoc_opt d (Poly.coeffs_in v p) with
+  | Some c -> c
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Mgcd: internal error: no coefficient at the reported degree %d" d)
+
 let pseudo_rem v a b =
   let db = Poly.degree_in v b in
   if Poly.is_zero b || db = 0 then raise Division_by_zero;
-  let lc_b =
-    match List.assoc_opt db (Poly.coeffs_in v b) with
-    | Some c -> c
-    | None -> assert false
-  in
+  let lc_b = leading_coeff_in v db b in
   let rec reduce r =
     let dr = Poly.degree_in v r in
     if Poly.is_zero r || dr < db then r
     else
-      let lc_r =
-        match List.assoc_opt dr (Poly.coeffs_in v r) with
-        | Some c -> c
-        | None -> assert false
-      in
+      let lc_r = leading_coeff_in v dr r in
       (* r := lc_b * r - lc_r * v^(dr-db) * b  cancels the leading term *)
       let shift = if dr = db then Poly.one else Poly.var ~exp:(dr - db) v in
       reduce (Poly.sub (Poly.mul lc_b r) (Poly.mul (Poly.mul lc_r shift) b))
@@ -77,7 +79,9 @@ and content_in v p =
 and divexact_poly p d =
   match Poly.div_exact p d with
   | Some q -> q
-  | None -> assert false
+  | None ->
+    (* content divides every coefficient by construction *)
+    failwith "Mgcd: internal error: content division left a remainder"
 
 and primitive_part_in v p =
   if Poly.is_zero p then p else divexact_poly p (content_in v p)

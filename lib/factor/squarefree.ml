@@ -6,7 +6,10 @@ type factorization = { unit_part : Z.t; factors : (Poly.t * int) list }
 let divexact p d =
   match Poly.div_exact p d with
   | Some q -> q
-  | None -> assert false
+  | None ->
+    (* Yun's algorithm only divides by gcds it just computed *)
+    failwith
+      "Squarefree: internal error: inexact division in Yun's algorithm"
 
 (* Yun's algorithm w.r.t. one variable on a polynomial that is primitive
    w.r.t. that variable (so every factor mentions [v]).  Returns (s, k)

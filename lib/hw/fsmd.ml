@@ -36,7 +36,7 @@ let class_of op =
 
 let build ?(latency_model = Schedule.default_latency) resources
     (n : Netlist.t) =
-  let s = Schedule.list_schedule ~latency_model resources n in
+  let s = Schedule.list_schedule_exn ~latency_model resources n in
   let b = Bind.bind ~latency_model resources n s in
   let cells = n.Netlist.cells in
   let num = Array.length cells in

@@ -72,7 +72,16 @@ let alap lm (n : Netlist.t) deadline =
   done;
   late
 
-let list_schedule ?(latency_model = default_latency) resources (n : Netlist.t) =
+type no_progress = {
+  step : int;
+  unscheduled : int list;
+  message : string;
+}
+
+exception Stuck of no_progress
+
+let list_schedule_result ?(latency_model = default_latency) resources
+    (n : Netlist.t) =
   if resources.multipliers < 1 || resources.adders < 1 then
     invalid_arg "Schedule.list_schedule: need at least one unit per class";
   let lm = latency_model in
@@ -148,11 +157,35 @@ let list_schedule ?(latency_model = default_latency) resources (n : Netlist.t) =
     in
     unscheduled := leftover @ rest;
     incr step;
-    if !step > 4 * (num + 1) * (lm.mult_cycles + lm.add_cycles) then
-      failwith "Schedule.list_schedule: no progress"
+    if !step > 4 * (num + 1) * (lm.mult_cycles + lm.add_cycles) then begin
+      let stuck = List.map (fun c -> c.Netlist.id) !unscheduled in
+      raise
+        (Stuck
+           {
+             step = !step;
+             unscheduled = stuck;
+             message =
+               Printf.sprintf
+                 "no progress after %d steps: %d cell%s still unscheduled \
+                  (the netlist is not topologically ordered, or a latency \
+                  bound is inconsistent)"
+                 !step (List.length stuck)
+                 (if List.length stuck = 1 then "" else "s");
+           })
+    end
   done;
   let latency = finish_time lm n start in
   { start_step = start; latency; steps_used = latency }
+
+let list_schedule ?latency_model resources n =
+  match list_schedule_result ?latency_model resources n with
+  | s -> Ok s
+  | exception Stuck d -> Error (`No_progress d)
+
+let list_schedule_exn ?latency_model resources n =
+  match list_schedule_result ?latency_model resources n with
+  | s -> s
+  | exception Stuck d -> failwith ("Schedule.list_schedule: " ^ d.message)
 
 let is_valid ?(latency_model = default_latency) resources (n : Netlist.t) s =
   let lm = latency_model in

@@ -34,11 +34,29 @@ val asap : ?latency_model:latency_model -> Netlist.t -> int array
 val critical_path_latency : ?latency_model:latency_model -> Netlist.t -> int
 (** Latency with unlimited resources. *)
 
+type no_progress = {
+  step : int;  (** the step at which the scheduler gave up *)
+  unscheduled : int list;  (** cell ids that never became ready *)
+  message : string;  (** human-readable diagnosis *)
+}
+(** Diagnostic for a scheduling run that stopped making progress — only
+    possible on a malformed netlist (cyclic or not topologically
+    ordered); well-formed inputs always schedule. *)
+
 val list_schedule :
-  ?latency_model:latency_model -> resources -> Netlist.t -> schedule
+  ?latency_model:latency_model ->
+  resources ->
+  Netlist.t ->
+  (schedule, [ `No_progress of no_progress ]) result
 (** Priority list scheduling; ties broken deterministically by cell id.
     @raise Invalid_argument when a resource class has fewer than one
     unit. *)
+
+val list_schedule_exn :
+  ?latency_model:latency_model -> resources -> Netlist.t -> schedule
+(** {!list_schedule}, raising [Failure] with the diagnostic message on
+    [`No_progress] — the historical behaviour, for callers that treat a
+    stuck schedule as a fatal invariant violation. *)
 
 val is_valid : ?latency_model:latency_model -> resources -> Netlist.t -> schedule -> bool
 (** Checker used by the tests: dependences respected, per-step resource

@@ -235,7 +235,7 @@ let schedule_rows ?(names = [ "SG 3x2"; "Quad"; "MVCS" ]) () =
                  else Printf.sprintf "%dmul/%dadd" m a
                in
                let s =
-                 Schedule.list_schedule
+                 Schedule.list_schedule_exn
                    { Schedule.multipliers = m; adders = a }
                    n
                in

@@ -1,0 +1,367 @@
+(* Tests for the static-analysis layer: well-formedness, width soundness,
+   equivalence certification (including the constructive counterexample
+   over Z_2^m), redundancy lint, and the suite facade. *)
+
+module Z = Polysynth_zint.Zint
+module P = Polysynth_poly.Poly
+module Parse = Polysynth_poly.Parse
+module Expr = Polysynth_expr.Expr
+module Prog = Polysynth_expr.Prog
+module Netlist = Polysynth_hw.Netlist
+module Canonical = Polysynth_finite_ring.Canonical
+module Diag = Polysynth_analysis.Diag
+module Wellformed = Polysynth_analysis.Wellformed
+module Widths = Polysynth_analysis.Widths
+module Equiv = Polysynth_analysis.Equiv
+module Redundancy = Polysynth_analysis.Redundancy
+module Suite = Polysynth_analysis.Suite
+module Engine = Polysynth_engine.Engine
+module B = Polysynth_workloads.Benchmarks
+
+let poly s = List.hd (Parse.system_exn s)
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diag.code) ds)
+let has_code c ds = List.mem c (codes ds)
+
+let env_of point v =
+  match List.assoc_opt v point with Some x -> x | None -> Z.zero
+
+(* ---- well-formedness --------------------------------------------------- *)
+
+let test_wf_clean () =
+  let prog =
+    {
+      Prog.bindings = [ ("d1", Expr.add [ Expr.var "x"; Expr.var "y" ]) ];
+      outputs = [ ("P1", Expr.mul [ Expr.var "d1"; Expr.var "d1" ]) ];
+    }
+  in
+  Alcotest.(check (list string)) "no findings" [] (codes (Wellformed.check_prog prog))
+
+let test_wf_bad_prog () =
+  let prog =
+    {
+      Prog.bindings =
+        [
+          ("a", Expr.var "b");  (* use before def *)
+          ("b", Expr.var "x");
+          ("b", Expr.var "y");  (* duplicate *)
+          ("dead", Expr.var "x");  (* never used *)
+        ];
+      outputs = [ ("P1", Expr.var "a"); ("P1", Expr.var "b") ];
+    }
+  in
+  let ds = Wellformed.check_prog prog in
+  Alcotest.(check bool) "has errors" true (Diag.has_errors ds);
+  List.iter
+    (fun c -> Alcotest.(check bool) c true (has_code c ds))
+    [
+      "wf.use-before-def";
+      "wf.duplicate-binding";
+      "wf.duplicate-output";
+      "wf.dead-binding";
+    ]
+
+let test_wf_bad_netlist () =
+  let n =
+    {
+      Netlist.cells =
+        [|
+          { Netlist.id = 0; op = Netlist.Add2; fanin = [ 0; 5 ] };
+        |];
+      outputs = [ ("P1", 0); ("P1", 0) ];
+      width = 8;
+    }
+  in
+  let ds = Wellformed.check_netlist n in
+  Alcotest.(check bool) "has errors" true (Diag.has_errors ds);
+  List.iter
+    (fun c -> Alcotest.(check bool) c true (has_code c ds))
+    [ "wf.fanin-order"; "wf.fanin-range"; "wf.duplicate-output" ]
+
+(* ---- width soundness --------------------------------------------------- *)
+
+let test_widths_modes () =
+  let n = Netlist.of_prog ~width:8 (Prog.of_exprs
+    [ Expr.mul [ Expr.var "x"; Expr.var "y" ] ]) in
+  let exact = Widths.check_netlist ~mode:Widths.Exact n in
+  let ring = Widths.check_netlist ~mode:Widths.Ring n in
+  Alcotest.(check bool) "overflow flagged" true (has_code "width.overflow" exact);
+  Alcotest.(check bool) "exact mode warns" true
+    (List.exists (fun d -> d.Diag.severity = Diag.Warning) exact);
+  Alcotest.(check bool) "ring mode wraps" true (has_code "width.wrap" ring);
+  Alcotest.(check bool) "ring mode stays info" true
+    (List.for_all (fun d -> d.Diag.severity = Diag.Info) ring);
+  (* neither mode reaches Error severity: benchmarks must pass CI lint *)
+  Alcotest.(check bool) "no errors" true
+    (not (Diag.has_errors exact) && not (Diag.has_errors ring))
+
+let test_widths_no_input_findings () =
+  (* a bare input cannot overflow its own datapath *)
+  let n = Netlist.of_prog ~width:8 (Prog.of_exprs [ Expr.var "x" ]) in
+  Alcotest.(check (list string)) "no findings" []
+    (codes (Widths.check_netlist ~mode:Widths.Exact n))
+
+(* ---- equivalence certification ----------------------------------------- *)
+
+let test_certify_verified () =
+  let p = poly "13*x^2 + 26*x*y + 13*y^2 + 7*x - 7*y + 11" in
+  let prog = Prog.of_exprs [ Expr.of_poly p ] in
+  Alcotest.(check string) "verified" "verified"
+    (Equiv.cert_label (Equiv.certify [ p ] prog))
+
+let check_counterexample ?ctx p prog ce =
+  (* the counterexample must actually witness the disagreement *)
+  let env = env_of ce.Equiv.point in
+  let expected =
+    match ctx with
+    | Some ctx -> Canonical.eval_mod ctx p env
+    | None -> P.eval env p
+  in
+  Alcotest.(check string) "expected value recorded" (Z.to_string expected)
+    (Z.to_string ce.Equiv.expected);
+  let got =
+    match List.assoc_opt ce.Equiv.output (Prog.eval prog env) with
+    | None -> None
+    | Some g ->
+      Some
+        (match ctx with
+         | Some ctx -> Z.erem_pow2 g (Canonical.out_width ctx)
+         | None -> g)
+  in
+  Alcotest.(check (option string)) "got value recorded"
+    (Option.map Z.to_string got)
+    (Option.map Z.to_string ce.Equiv.got);
+  Alcotest.(check bool) "values actually disagree" true
+    (match got with
+     | None -> true
+     | Some g -> not (Z.equal g expected))
+
+let test_certify_refuted_exact () =
+  (* hand-mutated decomposition: the constant term is off by one *)
+  let p = poly "13*x^2 + 7*x + 11" in
+  let bad = Prog.of_exprs [ Expr.of_poly (poly "13*x^2 + 7*x + 12") ] in
+  match Equiv.certify [ p ] bad with
+  | Equiv.Refuted ce -> check_counterexample p bad ce
+  | c -> Alcotest.failf "expected Refuted, got %s" (Equiv.cert_to_string c)
+
+let test_certify_constructive_ring_witness () =
+  (* fault 4*x^2 - 4*x = 4*Y_2(x): zero at x in {0, 1} but 8 at x = 2
+     modulo 2^4.  With samples:0 the random pre-filter is skipped, so the
+     counterexample must come from the minimal-degree falling term of the
+     canonical difference — the constructive witness x = 2. *)
+  let ctx = Canonical.make_ctx ~out_width:4 () in
+  let p = poly "x^3" in
+  let bad = Prog.of_exprs [ Expr.of_poly (poly "x^3 + 4*x^2 - 4*x") ] in
+  match Equiv.certify ~ctx ~samples:0 [ p ] bad with
+  | Equiv.Refuted ce ->
+    Alcotest.(check (list (pair string string)))
+      "constructed point x=2"
+      [ ("x", "2") ]
+      (List.map (fun (v, x) -> (v, Z.to_string x)) ce.Equiv.point);
+    check_counterexample ~ctx p bad ce
+  | c -> Alcotest.failf "expected Refuted, got %s" (Equiv.cert_to_string c)
+
+let test_certify_ring_vs_exact () =
+  (* 8*x^2 - 8*x = 8*x*(x-1) is divisible by 16 for every integer x: a
+     vanishing polynomial of Z_2^4, so the two sides are the same
+     bit-vector function but different integer polynomials *)
+  let ctx = Canonical.make_ctx ~out_width:4 () in
+  let p = poly "x^3" in
+  let prog = Prog.of_exprs [ Expr.of_poly (poly "x^3 + 8*x^2 - 8*x") ] in
+  Alcotest.(check string) "ring: same function" "verified"
+    (Equiv.cert_label (Equiv.certify ~ctx [ p ] prog));
+  Alcotest.(check string) "exact: different polynomial" "refuted"
+    (Equiv.cert_label (Equiv.certify [ p ] prog))
+
+let test_certify_missing_output () =
+  let p = poly "x + 1" in
+  let prog =
+    { Prog.bindings = []; outputs = [ ("Q1", Expr.var "x") ] }
+  in
+  match Equiv.certify [ p ] prog with
+  | Equiv.Refuted ce ->
+    Alcotest.(check string) "names the missing output" "P1" ce.Equiv.output;
+    Alcotest.(check bool) "no value" true (ce.Equiv.got = None)
+  | c -> Alcotest.failf "expected Refuted, got %s" (Equiv.cert_to_string c)
+
+let test_certify_budget_unknown () =
+  (* (x + y)^40 cubed via bindings: far beyond a tiny term budget *)
+  let base = Expr.pow (Expr.add [ Expr.var "x"; Expr.var "y" ]) 40 in
+  let prog =
+    {
+      Prog.bindings = [ ("d1", base) ];
+      outputs = [ ("P1", Expr.pow (Expr.var "d1") 3) ];
+    }
+  in
+  let p = List.assoc "P1" (Prog.to_polys prog) in
+  match Equiv.certify ~size_budget:100 [ p ] prog with
+  | Equiv.Unknown _ -> ()
+  | c -> Alcotest.failf "expected Unknown, got %s" (Equiv.cert_to_string c)
+
+let test_spot_check_netlist () =
+  let p = poly "3*x*y + 5*x + 1" in
+  let good = Netlist.of_prog ~width:8 (Prog.of_exprs [ Expr.of_poly p ]) in
+  (match Equiv.spot_check_netlist [ p ] good with
+   | Ok () -> ()
+   | Error ce ->
+     Alcotest.failf "good netlist refuted: %s"
+       (Equiv.cert_to_string (Equiv.Refuted ce)));
+  (* rewire the output to an input cell: a gross fault the sampler hits *)
+  let bad = { good with Netlist.outputs = [ ("P1", 0) ] } in
+  match Equiv.spot_check_netlist [ p ] bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "corrupted netlist passed the spot check"
+
+(* ---- redundancy lint ---------------------------------------------------- *)
+
+let test_lint_prog () =
+  let xy = Expr.add [ Expr.var "x"; Expr.var "y" ] in
+  let prog =
+    {
+      Prog.bindings =
+        [ ("d1", xy); ("d2", xy); ("d3", Expr.var "d2") ];
+      outputs = [ ("P1", Expr.mul [ Expr.var "d1"; Expr.var "d3" ]) ];
+    }
+  in
+  let ds = Redundancy.lint_prog prog in
+  Alcotest.(check bool) "duplicate found" true
+    (has_code "lint.duplicate-binding" ds);
+  Alcotest.(check bool) "trivial binding found" true
+    (has_code "lint.trivial-binding" ds);
+  Alcotest.(check bool) "single use found" true (has_code "lint.single-use" ds);
+  Alcotest.(check bool) "nothing above warning" true (not (Diag.has_errors ds))
+
+let test_lint_netlist () =
+  let cell id op fanin = { Netlist.id; op; fanin } in
+  let n =
+    {
+      Netlist.cells =
+        [|
+          cell 0 (Netlist.Input "x") [];
+          cell 1 (Netlist.Input "y") [];
+          cell 2 Netlist.Add2 [ 0; 1 ];
+          cell 3 Netlist.Add2 [ 0; 1 ];  (* duplicate of 2 *)
+          cell 4 (Netlist.Cmult Z.one) [ 2 ];  (* trivial, dead *)
+        |];
+      outputs = [ ("P1", 3) ];
+      width = 8;
+    }
+  in
+  let ds = Redundancy.lint_netlist n in
+  List.iter
+    (fun c -> Alcotest.(check bool) c true (has_code c ds))
+    [ "lint.duplicate-cell"; "lint.dead-cell"; "lint.trivial-cell" ]
+
+(* ---- suite -------------------------------------------------------------- *)
+
+let test_suite_clean_exit () =
+  let p = poly "7*x^2 + 3*x + 2" in
+  let prog = Prog.of_exprs [ Expr.of_poly p ] in
+  let cfg = { (Suite.default ~width:16) with Suite.system = Some [ p ] } in
+  let r = Suite.analyze cfg prog in
+  Alcotest.(check int) "exit 0" 0 (Suite.exit_code r);
+  Alcotest.(check (option string)) "verified" (Some "verified")
+    (Option.map Equiv.cert_label r.Suite.cert)
+
+let test_suite_refuted_exit () =
+  let p = poly "7*x^2 + 3*x + 2" in
+  let bad = Prog.of_exprs [ Expr.of_poly (poly "7*x^2 + 3*x + 3") ] in
+  let cfg = { (Suite.default ~width:16) with Suite.system = Some [ p ] } in
+  Alcotest.(check int) "exit 2" 2 (Suite.exit_code (Suite.analyze cfg bad))
+
+let test_suite_error_exit () =
+  (* structurally broken program, lint only: exit 3, downstream skipped *)
+  let prog =
+    {
+      Prog.bindings = [ ("a", Expr.var "a") ];
+      outputs = [ ("P1", Expr.var "a") ];
+    }
+  in
+  let cfg = { (Suite.default ~width:16) with Suite.check = false } in
+  let r = Suite.analyze cfg prog in
+  Alcotest.(check int) "exit 3" 3 (Suite.exit_code r);
+  Alcotest.(check bool) "self-reference reported" true
+    (has_code "wf.self-reference" r.Suite.wellformed);
+  Alcotest.(check (list string)) "widths skipped" [] (codes r.Suite.widths)
+
+(* ---- engine integration ------------------------------------------------- *)
+
+let test_engine_reports_carry_certificates () =
+  let polys = Parse.system_exn "5*x^2 + 3*x*y; x*y + 2*y" in
+  let config =
+    { (Engine.Config.default ~width:12) with Engine.Config.parallelism = 1 }
+  in
+  let reports, trace = Engine.compare_methods config polys in
+  Alcotest.(check int) "four reports" 4 (List.length reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Engine.method_label r.Engine.method_name ^ " verified")
+        "verified"
+        (Equiv.cert_label r.Engine.cert))
+    reports;
+  Alcotest.(check int) "four certificates in trace" 4
+    (List.length trace.Engine.Trace.certificates)
+
+let test_benchmarks_verify () =
+  (* every shipped benchmark's synthesized decomposition must be Verified *)
+  List.iter
+    (fun (b : B.t) ->
+      let config =
+        {
+          (Engine.Config.default ~width:b.B.width) with
+          Engine.Config.parallelism = 1;
+        }
+      in
+      let r, _ = Engine.synthesize config b.B.polys in
+      Alcotest.(check string) (b.B.name ^ " verified") "verified"
+        (Equiv.cert_label r.Engine.cert))
+    (B.all ())
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "wellformed",
+        [
+          Alcotest.test_case "clean program" `Quick test_wf_clean;
+          Alcotest.test_case "broken program" `Quick test_wf_bad_prog;
+          Alcotest.test_case "broken netlist" `Quick test_wf_bad_netlist;
+        ] );
+      ( "widths",
+        [
+          Alcotest.test_case "exact warns, ring informs" `Quick
+            test_widths_modes;
+          Alcotest.test_case "inputs never flagged" `Quick
+            test_widths_no_input_findings;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "verified" `Quick test_certify_verified;
+          Alcotest.test_case "injected fault refuted" `Quick
+            test_certify_refuted_exact;
+          Alcotest.test_case "constructive ring witness" `Quick
+            test_certify_constructive_ring_witness;
+          Alcotest.test_case "ring vs exact semantics" `Quick
+            test_certify_ring_vs_exact;
+          Alcotest.test_case "missing output" `Quick test_certify_missing_output;
+          Alcotest.test_case "budget exhaustion is Unknown" `Quick
+            test_certify_budget_unknown;
+          Alcotest.test_case "netlist spot check" `Quick test_spot_check_netlist;
+        ] );
+      ( "redundancy",
+        [
+          Alcotest.test_case "program lint" `Quick test_lint_prog;
+          Alcotest.test_case "netlist lint" `Quick test_lint_netlist;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "clean exit" `Quick test_suite_clean_exit;
+          Alcotest.test_case "refuted exit" `Quick test_suite_refuted_exit;
+          Alcotest.test_case "error exit" `Quick test_suite_error_exit;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "compare_methods certificates" `Quick
+            test_engine_reports_carry_certificates;
+          Alcotest.test_case "benchmarks verify" `Slow test_benchmarks_verify;
+        ] );
+    ]

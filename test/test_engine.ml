@@ -136,8 +136,16 @@ let test_trace_shape () =
   let names = List.map (fun (s : Trace.stage) -> s.Trace.name) trace.Trace.stages in
   Alcotest.(check (list string))
     "stages in flow order"
-    [ "proposed/represent"; "proposed/search"; "proposed/integrated" ]
+    [
+      "proposed/represent";
+      "proposed/search";
+      "proposed/integrated";
+      "proposed/certify";
+    ]
     names;
+  Alcotest.(check (list (pair string string)))
+    "certificate summary" [ ("proposed", "verified") ]
+    trace.Trace.certificates;
   List.iter
     (fun (s : Trace.stage) ->
       Alcotest.(check bool) (s.Trace.name ^ " wall >= 0") true (s.Trace.wall >= 0.0);
@@ -153,7 +161,7 @@ let test_trace_shape () =
   List.iter
     (fun needle ->
       Alcotest.(check bool) ("json mentions " ^ needle) true (contains needle))
-    [ "\"stages\""; "\"cache\""; "\"budget_exhausted\"" ]
+    [ "\"stages\""; "\"cache\""; "\"budget_exhausted\""; "\"certificates\"" ]
 
 let () =
   Alcotest.run "engine"

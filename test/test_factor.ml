@@ -372,6 +372,66 @@ let prop_resultant_detects_common_factor =
       let gcd_nontrivial = not (P.is_const (G.gcd f g)) in
       P.is_zero res = gcd_nontrivial)
 
+(* internal-error hardening ------------------------------------------------------- *)
+
+(* The `assert false` sites in Linear_factors, Mgcd and Squarefree are now
+   descriptive internal-error failures.  Stress the code paths that used to
+   guard them — rational roots with large coefficients, heavy content,
+   negative leading terms, pseudo-division towers — and demand that no bare
+   Assert_failure escapes (documented Invalid_argument is fine). *)
+
+let no_assert name f =
+  match f () with
+  | exception Assert_failure (file, line, _) ->
+    Alcotest.failf "%s: Assert_failure at %s:%d" name file line
+  | exception Invalid_argument _ -> ()
+  | exception Division_by_zero -> ()
+  | _ -> ()
+
+let test_hardening_edge_inputs () =
+  no_assert "roots: huge coefficients" (fun () ->
+      LF.roots "x" (p "1000000007*x^3 - 1000000007*x"));
+  no_assert "roots: negative leading coefficient" (fun () ->
+      LF.roots "x" (p "0 - 6*x^3 + 11*x^2 - 6*x + 1"));
+  no_assert "roots: dense rational roots" (fun () ->
+      LF.roots "x" (p "30*x^4 - 133*x^3 + 163*x^2 - 16*x - 12"));
+  no_assert "linear_factors: content-heavy" (fun () ->
+      LF.linear_factors "x" (p "1024*x^5 - 1024*x"));
+  no_assert "linear_factors: constant" (fun () -> LF.linear_factors "x" (p "42"));
+  no_assert "gcd: deep pseudo-division tower" (fun () ->
+      G.gcd
+        (P.mul (P.pow (p "x + y + z") 3) (p "2*x - 5"))
+        (P.mul (P.pow (p "x + y + z") 2) (p "7*y + 1")));
+  no_assert "gcd: mismatched contents" (fun () ->
+      G.gcd (p "6*x^4*y^2 - 6*y^2") (p "15*x^2*y^3 + 15*y^3"));
+  no_assert "squarefree: high multiplicity" (fun () ->
+      S.squarefree (P.pow (p "3*x - 2") 6));
+  no_assert "squarefree: mixed multiplicities with content" (fun () ->
+      S.squarefree
+        (P.mul (P.of_int 12) (P.mul (P.pow (p "x + 1") 4) (p "x^2 + 1"))))
+
+let gen_univariate = gen_poly ~vars:[ "x" ] ~max_terms:5 ~max_exp:4 ()
+
+let prop_no_assert_failure =
+  prop "factor stack never raises Assert_failure" ~count:120
+    (QCheck.make
+       QCheck.Gen.(pair gen_univariate (gen_poly ()))
+       ~print:(fun (a, b) -> P.to_string a ^ " || " ^ P.to_string b))
+    (fun (u, m) ->
+      let safe f =
+        match f () with
+        | exception Assert_failure _ -> false
+        | exception Invalid_argument _ -> true
+        | exception Division_by_zero -> true
+        | _ -> true
+      in
+      safe (fun () -> LF.roots "x" u)
+      && safe (fun () -> LF.linear_factors "x" u)
+      && safe (fun () -> S.squarefree u)
+      && safe (fun () -> S.squarefree m)
+      && safe (fun () -> G.gcd u m)
+      && safe (fun () -> G.gcd m (P.mul m u)))
+
 (* properties --------------------------------------------------------------------- *)
 
 let gen_linear_product =
@@ -537,6 +597,12 @@ let () =
           Alcotest.test_case "discriminant" `Quick test_discriminant;
           Alcotest.test_case "determinant" `Quick test_determinant;
           prop_resultant_detects_common_factor;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "edge inputs raise no Assert_failure" `Quick
+            test_hardening_edge_inputs;
+          prop_no_assert_failure;
         ] );
       ( "properties",
         [

@@ -441,7 +441,7 @@ module Schedule = Polysynth_hw.Schedule
 
 let test_schedule_unlimited_matches_critical_path () =
   let n = N.of_prog ~width:16 (prog_of_strings [ "x*y + z*w + 3*q" ]) in
-  let s = Schedule.list_schedule Schedule.unlimited n in
+  let s = Schedule.list_schedule_exn Schedule.unlimited n in
   Alcotest.(check int) "latency = critical path"
     (Schedule.critical_path_latency n) s.Schedule.latency;
   Alcotest.(check bool) "valid" true (Schedule.is_valid Schedule.unlimited n s)
@@ -450,8 +450,8 @@ let test_schedule_resource_constrained () =
   (* three independent multiplications on one multiplier serialize *)
   let n = N.of_prog ~width:16 (prog_of_strings [ "x*y"; "z*w"; "q*r" ]) in
   let one = { Schedule.multipliers = 1; adders = 1 } in
-  let s1 = Schedule.list_schedule one n in
-  let s3 = Schedule.list_schedule { one with Schedule.multipliers = 3 } n in
+  let s1 = Schedule.list_schedule_exn one n in
+  let s3 = Schedule.list_schedule_exn { one with Schedule.multipliers = 3 } n in
   Alcotest.(check bool) "valid constrained" true (Schedule.is_valid one n s1);
   Alcotest.(check int) "serialized: 3 mults x 2 cycles" 6 s1.Schedule.latency;
   Alcotest.(check int) "parallel: 2 cycles" 2 s3.Schedule.latency
@@ -459,15 +459,27 @@ let test_schedule_resource_constrained () =
 let test_schedule_dependences () =
   (* x*y*z: second multiply waits for the first *)
   let n = N.of_prog ~width:16 (prog_of_strings [ "x*y*z" ]) in
-  let s = Schedule.list_schedule Schedule.unlimited n in
+  let s = Schedule.list_schedule_exn Schedule.unlimited n in
   Alcotest.(check int) "two dependent mults" 4 s.Schedule.latency
+
+let test_schedule_result_ok () =
+  (* the typed interface returns [Ok] on every well-formed netlist and
+     agrees with the [_exn] shim *)
+  let n = N.of_prog ~width:16 (prog_of_strings [ "x*y + z" ]) in
+  let res = { Schedule.multipliers = 1; adders = 1 } in
+  match Schedule.list_schedule res n with
+  | Error (`No_progress d) -> Alcotest.failf "unexpected: %s" d.Schedule.message
+  | Ok s ->
+    let s' = Schedule.list_schedule_exn res n in
+    Alcotest.(check int) "same latency" s'.Schedule.latency s.Schedule.latency;
+    Alcotest.(check bool) "valid" true (Schedule.is_valid res n s)
 
 let test_schedule_invalid_resources () =
   let n = N.of_prog ~width:8 (prog_of_strings [ "x" ]) in
   Alcotest.check_raises "zero multipliers"
     (Invalid_argument "Schedule.list_schedule: need at least one unit per class")
     (fun () ->
-      ignore (Schedule.list_schedule { Schedule.multipliers = 0; adders = 1 } n))
+      ignore (Schedule.list_schedule_exn { Schedule.multipliers = 0; adders = 1 } n))
 
 let test_schedule_monotone_in_resources () =
   let n =
@@ -475,7 +487,7 @@ let test_schedule_monotone_in_resources () =
       (prog_of_strings [ "x*y + y*z + z*w + w*q"; "x*z*w + 5*q*y" ])
   in
   let lat m =
-    (Schedule.list_schedule { Schedule.multipliers = m; adders = 2 } n)
+    (Schedule.list_schedule_exn { Schedule.multipliers = m; adders = 2 } n)
       .Schedule.latency
   in
   Alcotest.(check bool) "more units never slower" true
@@ -534,7 +546,7 @@ let test_bind_unit_counts () =
   (* 3 independent multiplies scheduled on 2 multipliers need exactly 2 *)
   let n = N.of_prog ~width:16 (prog_of_strings [ "x*y"; "z*w"; "q*r" ]) in
   let res = { Schedule.multipliers = 2; adders = 2 } in
-  let s = Schedule.list_schedule res n in
+  let s = Schedule.list_schedule_exn res n in
   let b = Bind.bind res n s in
   Alcotest.(check bool) "at most 2 multipliers" true (b.Bind.num_multipliers <= 2);
   Alcotest.(check bool) "consistent" true (Bind.is_consistent n s b)
@@ -544,7 +556,7 @@ let test_bind_registers_on_serialization () =
      registers are needed *)
   let n = N.of_prog ~width:16 (prog_of_strings [ "x*y + z*w + q*r" ]) in
   let res = { Schedule.multipliers = 1; adders = 1 } in
-  let s = Schedule.list_schedule res n in
+  let s = Schedule.list_schedule_exn res n in
   let b = Bind.bind res n s in
   Alcotest.(check bool) "some registers" true (b.Bind.num_registers >= 1);
   Alcotest.(check bool) "consistent" true (Bind.is_consistent n s b)
@@ -556,7 +568,7 @@ let test_bind_mux_inputs_grow_with_sharing () =
   in
   let res = { Schedule.multipliers = 1; adders = 1 } in
   let sb netlist =
-    let s = Schedule.list_schedule res netlist in
+    let s = Schedule.list_schedule_exn res netlist in
     Bind.bind res netlist s
   in
   Alcotest.(check bool) "more ops on one unit, more mux inputs" true
@@ -578,7 +590,7 @@ let prop_bind_consistent =
     (fun (specs, m, a) ->
       let n = N.of_prog ~width:16 (prog_of_strings specs) in
       let res = { Schedule.multipliers = m; adders = a } in
-      let s = Schedule.list_schedule res n in
+      let s = Schedule.list_schedule_exn res n in
       let b = Bind.bind res n s in
       Bind.is_consistent n s b
       && b.Bind.num_multipliers <= m
@@ -699,7 +711,7 @@ let prop_schedule_valid =
       let prog = Prog.of_exprs (List.map (fun s -> E.of_poly (Parse.poly_exn s)) specs) in
       let n = N.of_prog ~width:16 prog in
       let res = { Schedule.multipliers = m; adders = a } in
-      let s = Schedule.list_schedule res n in
+      let s = Schedule.list_schedule_exn res n in
       Schedule.is_valid res n s
       && s.Schedule.latency >= Schedule.critical_path_latency n)
 
@@ -785,6 +797,7 @@ let () =
           Alcotest.test_case "resource constrained" `Quick
             test_schedule_resource_constrained;
           Alcotest.test_case "dependences" `Quick test_schedule_dependences;
+          Alcotest.test_case "result interface" `Quick test_schedule_result_ok;
           Alcotest.test_case "invalid resources" `Quick
             test_schedule_invalid_resources;
           Alcotest.test_case "monotone in resources" `Quick
