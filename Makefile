@@ -8,10 +8,13 @@
 #                (exit 2 on a refuted/unknown certificate, 3 on
 #                error-severity findings)
 #   make bench   quick benchmark smoke run (tables + short timings)
+#   make bench-json
+#                regenerate BENCH_PR3.json (quick mode, speedups vs the
+#                committed baseline) and validate it against the schema
 
-.PHONY: ci build test fmt lint bench
+.PHONY: ci build test fmt lint bench bench-json
 
-ci: build test fmt lint bench
+ci: build test fmt lint bench bench-json
 
 lint:
 	dune exec bin/polysynth.exe -- --benchmark all --check --lint
@@ -35,3 +38,8 @@ fmt:
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+bench-json:
+	dune exec bench/main.exe -- --quick --json \
+	  --baseline BENCH_PR3_BASELINE.json > BENCH_PR3.json
+	dune exec bench/main.exe -- --validate BENCH_PR3.json

@@ -3,67 +3,123 @@
    table harness, plus per-stage ablation timings).
 
    Run with:  dune exec bench/main.exe
-   Fast mode: dune exec bench/main.exe -- --quick  (small benchmarks only) *)
+   Fast mode: dune exec bench/main.exe -- --quick  (small benchmarks only)
+   JSON mode: dune exec bench/main.exe -- --quick --json
+              (tables suppressed; emits a polysynth-bench/1 document on
+              stdout — see Polysynth_report.Bench_json.  Pass
+              --baseline FILE to annotate each result with the speedup
+              against a previously captured run.)
+   Check:     dune exec bench/main.exe -- --validate FILE
+              (validates a captured JSON document and exits non-zero on a
+              schema violation; used by `make bench-json`.) *)
 
 open Bechamel
 module T = Polysynth_report.Tables
+module Bench_json = Polysynth_report.Bench_json
 module P = Polysynth_poly.Poly
 module Ring = Polysynth_finite_ring.Canonical
 module Squarefree = Polysynth_factor.Squarefree
 module Extract = Polysynth_cse.Extract
 module Kernel = Polysynth_cse.Kernel
 module Cce = Polysynth_core.Cce
+module Integrated = Polysynth_core.Integrated
 module Engine = Polysynth_engine.Engine
 module Ex = Polysynth_workloads.Examples
 module B = Polysynth_workloads.Benchmarks
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let has flag = Array.exists (fun a -> a = flag) Sys.argv
+
+let arg_value flag =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let quick = has "--quick"
+let json_mode = has "--json"
 
 let quick_names = [ "SG 3x2"; "Quad"; "Mibench"; "MVCS" ]
 
 let table_names = if quick then Some quick_names else None
 
+(* ---- validation mode ------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the two results the acceptance gate tracks must always be present *)
+let required_results =
+  [ "polysynth/kernel_extraction_t143"; "polysynth/integrated_t143" ]
+
+let () =
+  match arg_value "--validate" with
+  | None -> ()
+  | Some path ->
+    (match Bench_json.validate ~required:required_results (read_file path) with
+     | Ok () ->
+       Printf.printf "%s: valid %s document\n" path Bench_json.schema;
+       exit 0
+     | Error msg ->
+       Printf.eprintf "%s: %s\n" path msg;
+       exit 1)
+
 (* ---- part 1: regenerate the paper's tables -------------------------------- *)
 
 let () =
-  print_endline "=== Reproduction of the paper's tables ===";
-  print_newline ();
-  print_string
-    (T.render_counts ~title:"Table 14.1 — decompositions of the motivating system"
-       (T.table_14_1_rows ()));
-  print_newline ();
-  print_string
-    (T.render_counts ~title:"Table 14.2 — Algorithm 7 walk-through"
-       (T.table_14_2_rows ()));
-  print_newline ();
-  print_string (T.render_table_14_3 (T.table_14_3_rows ?names:table_names ()));
-  print_newline ();
-  print_string (T.render_ablation (T.ablation_rows ~names:quick_names ()));
-  print_newline ();
-  print_endline "Fig. 14.1 — representation lists (Table 14.2 system):";
-  print_string (T.fig_14_1_dump ());
-  print_newline ();
-  print_string
-    (T.render_named_ablation
-       ~title:"Extraction strategy — greedy vs KCM prime rectangles"
-       (T.strategy_rows ~names:quick_names ()));
-  print_newline ();
-  print_string
-    (T.render_named_ablation ~title:"Search objective — area/delay/power/ops"
-       (T.objective_rows ()));
-  print_newline ();
-  print_string (T.render_schedule (T.schedule_rows ()));
-  print_newline ();
-  print_endline "Extended workload suite:";
-  print_string (T.render_table_14_3 (T.extended_rows ()));
-  print_newline ();
-  print_string (T.render_implementation (T.implementation_rows ()));
-  print_newline ()
+  if json_mode then ()
+  else begin
+    print_endline "=== Reproduction of the paper's tables ===";
+    print_newline ();
+    print_string
+      (T.render_counts ~title:"Table 14.1 — decompositions of the motivating system"
+         (T.table_14_1_rows ()));
+    print_newline ();
+    print_string
+      (T.render_counts ~title:"Table 14.2 — Algorithm 7 walk-through"
+         (T.table_14_2_rows ()));
+    print_newline ();
+    print_string (T.render_table_14_3 (T.table_14_3_rows ?names:table_names ()));
+    print_newline ();
+    print_string (T.render_ablation (T.ablation_rows ~names:quick_names ()));
+    print_newline ();
+    print_endline "Fig. 14.1 — representation lists (Table 14.2 system):";
+    print_string (T.fig_14_1_dump ());
+    print_newline ();
+    print_string
+      (T.render_named_ablation
+         ~title:"Extraction strategy — greedy vs KCM prime rectangles"
+         (T.strategy_rows ~names:quick_names ()));
+    print_newline ();
+    print_string
+      (T.render_named_ablation ~title:"Search objective — area/delay/power/ops"
+         (T.objective_rows ()));
+    print_newline ();
+    print_string (T.render_schedule (T.schedule_rows ()));
+    print_newline ();
+    print_endline "Extended workload suite:";
+    print_string (T.render_table_14_3 (T.extended_rows ()));
+    print_newline ();
+    print_string (T.render_implementation (T.implementation_rows ()));
+    print_newline ()
+  end
 
 (* ---- part 2: Bechamel timings --------------------------------------------- *)
 
 let sg3 = (Option.get (B.by_name "SG 3x2")).B.polys
 let mvcs = (Option.get (B.by_name "MVCS")).B.polys
+
+(* the Table 14.3 benchmark set the trajectory numbers are computed over:
+   the quick subset in --quick mode, all eight systems otherwise *)
+let t143_systems =
+  let names =
+    if quick then quick_names else List.map (fun b -> b.B.name) (B.all ())
+  in
+  List.map (fun n -> (Option.get (B.by_name n)).B.polys) names
 
 let stage f = Staged.stage f
 
@@ -104,6 +160,30 @@ let test_stage_canonical =
 let test_stage_extraction =
   Test.make ~name:"stage_extraction"
     (stage (fun () -> ignore (Extract.run ~mode:Extract.Vars_only sg3)))
+
+(* the acceptance-gate pair: kernel/co-kernel extraction and end-to-end
+   integrated synthesis over the Table 14.3 set *)
+let test_kernel_t143 =
+  Test.make ~name:"kernel_extraction_t143"
+    (stage (fun () ->
+         List.iter
+           (fun polys -> List.iter (fun p -> ignore (Kernel.kernels p)) polys)
+           t143_systems))
+
+let test_kernel_t143_cold =
+  (* same work with the kernel memo table dropped first, so this measures
+     the raw representation rather than cache hits *)
+  Test.make ~name:"kernel_extraction_t143_cold"
+    (stage (fun () ->
+         Kernel.clear_cache ();
+         List.iter
+           (fun polys -> List.iter (fun p -> ignore (Kernel.kernels p)) polys)
+           t143_systems))
+
+let test_integrated_t143 =
+  Test.make ~name:"integrated_t143"
+    (stage (fun () ->
+         List.iter (fun polys -> ignore (Integrated.decompose polys)) t143_systems))
 
 (* engine configurations: the cache is disabled so every iteration measures a
    full representation build rather than a memo lookup *)
@@ -154,6 +234,9 @@ let tests =
       test_stage_canonical;
       test_stage_extraction;
       test_stage_kcm;
+      test_kernel_t143;
+      test_kernel_t143_cold;
+      test_integrated_t143;
       test_pipeline_mvcs;
       test_pipeline_table_14_1;
       test_engine_sequential;
@@ -161,7 +244,8 @@ let tests =
     ]
 
 let () =
-  print_endline "=== Bechamel timings (ns per call, OLS fit) ===";
+  if not json_mode then
+    print_endline "=== Bechamel timings (ns per call, OLS fit) ===";
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:500 ~stabilize:true
@@ -174,12 +258,39 @@ let () =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
-  List.iter
-    (fun (name, est) ->
-      let ns =
-        match Analyze.OLS.estimates est with
-        | Some (v :: _) -> v
-        | Some [] | None -> nan
-      in
-      Printf.printf "  %-36s %12.0f ns/run\n" name ns)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  let rows =
+    List.map
+      (fun (name, est) ->
+        let ns =
+          match Analyze.OLS.estimates est with
+          | Some (v :: _) -> v
+          | Some [] | None -> nan
+        in
+        (name, ns))
+      rows
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if json_mode then begin
+    let baseline =
+      match arg_value "--baseline" with
+      | None -> None
+      | Some path ->
+        Some
+          (List.map
+             (fun e -> (e.Bench_json.name, e.Bench_json.ns_per_run))
+             (Bench_json.parse_exn (read_file path)))
+    in
+    let entries =
+      List.map
+        (fun (name, ns) -> { Bench_json.name; ns_per_run = ns })
+        rows
+    in
+    print_string
+      (Bench_json.render ?baseline
+         ~mode:(if quick then "quick" else "full")
+         entries)
+  end
+  else
+    List.iter
+      (fun (name, ns) -> Printf.printf "  %-36s %12.0f ns/run\n" name ns)
+      rows

@@ -10,6 +10,7 @@ module Dag = Polysynth_expr.Dag
 module Cost = Polysynth_hw.Cost
 module Canonical = Polysynth_finite_ring.Canonical
 module Extract = Polysynth_cse.Extract
+module Kernel = Polysynth_cse.Kernel
 module Equiv = Polysynth_analysis.Equiv
 
 type method_name = Direct | Horner | Factor_cse | Proposed
@@ -230,8 +231,18 @@ module Memo = struct
   let stats () = (Atomic.get hits, Atomic.get misses)
 end
 
-let clear_cache = Memo.clear
-let cache_stats = Memo.stats
+(* The engine manages two memo layers: its own representation/variant
+   store above, and the kernelling memo inside Polysynth_cse.Kernel that
+   serves the extraction loops.  They are cleared together and their
+   hit/miss counters are merged in the trace. *)
+let clear_cache () =
+  Memo.clear ();
+  Kernel.clear_cache ()
+
+let cache_stats () =
+  let h, m = Memo.stats () in
+  let kh, km = Kernel.cache_stats () in
+  (h + kh, m + km)
 
 (* ---- parallel map over a domain pool ---------------------------------- *)
 
@@ -503,12 +514,18 @@ let certify_report (config : Config.t) ~prefix stages certs polys r =
 
 let with_trace (config : Config.t) f =
   let t0 = now () in
-  let h0, m0 = Memo.stats () in
+  let kernel_memo_was = Kernel.memo_enabled () in
+  Kernel.set_memo_enabled config.Config.cache;
+  let h0, m0 = cache_stats () in
   let stages = ref [] in
   let certs = ref [] in
   let budget_ok, budget_tripped = make_budget config in
-  let result = f stages certs budget_ok in
-  let h1, m1 = Memo.stats () in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Kernel.set_memo_enabled kernel_memo_was)
+      (fun () -> f stages certs budget_ok)
+  in
+  let h1, m1 = cache_stats () in
   ( result,
     {
       Trace.parallelism = Config.domains config;

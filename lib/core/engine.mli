@@ -153,7 +153,10 @@ val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
     to [List.map] when [domains <= 1] or fewer than two items. *)
 
 val clear_cache : unit -> unit
-(** Empty the process-wide memo and reset its hit/miss counters. *)
+(** Empty the process-wide memo stores — the representation/variant store
+    and the kernelling memo of [Polysynth_cse.Kernel] — and reset their
+    hit/miss counters. *)
 
 val cache_stats : unit -> int * int
-(** Cumulative [(hits, misses)] since start or {!clear_cache}. *)
+(** Cumulative [(hits, misses)] since start or {!clear_cache}, merged
+    across the representation store and the kernelling memo. *)

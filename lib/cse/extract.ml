@@ -59,14 +59,36 @@ let decode_expr e =
 
 type item = { name : string; mutable body : Poly.t }
 
+(* Operator count of one body as a flat sum of products.  The greedy loop
+   recomputes the cost of every item for each of its ~40 trial rewrites
+   per round, but a trial changes only a few bodies — so the per-body
+   count is memoized, keyed by the polynomial's (monomial-hash based)
+   hash.  The table is domain-local: the engine fans the integrated
+   variants out across domains and each keeps its own lock-free table. *)
+module Ptbl = Hashtbl.Make (struct
+  type t = Poly.t
+
+  let equal = Poly.equal
+  let hash = Poly.hash
+end)
+
+let body_ops_key : int Ptbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ptbl.create 1024)
+
+let body_ops body =
+  let tbl = Domain.DLS.get body_ops_key in
+  match Ptbl.find_opt tbl body with
+  | Some n -> n
+  | None ->
+    let n = Dag.total_ops (Dag.tree_counts (Expr.of_poly body)) in
+    if Ptbl.length tbl > 65536 then Ptbl.reset tbl;
+    Ptbl.add tbl body n;
+    n
+
 let flat_cost items =
   (* operator count of all bodies as flat sums of products; block variables
      and coefficient literals count as plain operands *)
-  List.fold_left
-    (fun acc it ->
-      let c = Dag.tree_counts (Expr.of_poly it.body) in
-      acc + Dag.total_ops c)
-    0 items
+  List.fold_left (fun acc it -> acc + body_ops it.body) 0 items
 
 (* ---- candidate moves --------------------------------------------------------- *)
 
@@ -271,7 +293,7 @@ let run ?(mode = Coeff_literals) ?(strategy = Greedy) ?(signs = true)
   let estimate instances items cand =
     match cand with
     | Block d ->
-      let ops_d = Dag.total_ops (Dag.tree_counts (Expr.of_poly d)) in
+      let ops_d = body_ops d in
       let occ =
         List.length
           (List.filter

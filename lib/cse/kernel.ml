@@ -1,20 +1,117 @@
 module Poly = Polysynth_poly.Poly
 module Monomial = Polysynth_poly.Monomial
 
-let largest_cube p =
+(* ---- memo table --------------------------------------------------------- *)
+
+(* The extraction loop (Extract.run) re-kernels every work-item body each
+   round, and [rewrite_with_block] re-kernels the body after every rewrite
+   — but most bodies are unchanged between calls.  Kernelling is the hot
+   stage, so [kernels] and [largest_cube] are memoized here, keyed by the
+   polynomial itself through its (monomial-hash based) [Poly.hash].  The
+   table is a bounded FIFO shared across domains; the computation itself
+   runs outside the lock, so a race costs at most duplicated work.
+
+   Hits/misses feed the engine trace (Polysynth_core.Engine merges them
+   with its representation-store counters), and [Engine.clear_cache]
+   clears this table too. *)
+module Ptbl = Hashtbl.Make (struct
+  type t = Poly.t
+
+  let equal = Poly.equal
+  let hash = Poly.hash
+end)
+
+module Memo = struct
+  type entry = {
+    mutable kernels : (Monomial.t * Poly.t) list option;
+    mutable cube : Monomial.t option;
+  }
+
+  let capacity = 8192
+  let lock = Mutex.create ()
+  let table : entry Ptbl.t = Ptbl.create 256
+  let order : Poly.t Queue.t = Queue.create ()
+  let hits = Atomic.make 0
+  let misses = Atomic.make 0
+
+  let find p = Mutex.protect lock (fun () -> Ptbl.find_opt table p)
+
+  (* call under [lock] *)
+  let entry p =
+    match Ptbl.find_opt table p with
+    | Some e -> e
+    | None ->
+      if Ptbl.length table >= capacity then
+        (match Queue.take_opt order with
+         | Some old -> Ptbl.remove table old
+         | None -> ());
+      let e = { kernels = None; cube = None } in
+      Ptbl.replace table p e;
+      Queue.add p order;
+      e
+
+  let set_kernels p ks =
+    Mutex.protect lock (fun () -> (entry p).kernels <- Some ks)
+
+  let set_cube p c = Mutex.protect lock (fun () -> (entry p).cube <- Some c)
+
+  let clear () =
+    Mutex.protect lock (fun () ->
+        Ptbl.reset table;
+        Queue.clear order);
+    Atomic.set hits 0;
+    Atomic.set misses 0
+
+  let stats () = (Atomic.get hits, Atomic.get misses)
+end
+
+(* The engine flips this off when it runs with [cache = false], so that
+   "caching disabled" really measures raw kernelling. *)
+let memo_flag = Atomic.make true
+let set_memo_enabled b = Atomic.set memo_flag b
+let memo_enabled () = Atomic.get memo_flag
+
+let clear_cache = Memo.clear
+let cache_stats = Memo.stats
+
+(* ---- cubes --------------------------------------------------------------- *)
+
+let largest_cube_raw p =
   match Poly.terms p with
   | [] -> Monomial.one
   | (_, m) :: rest ->
-    List.fold_left (fun acc (_, m') -> Monomial.gcd acc m') m rest
+    let rec go acc = function
+      | [] -> acc
+      | (_, m') :: tl ->
+        if Monomial.is_one acc then acc else go (Monomial.gcd acc m') tl
+    in
+    go m rest
+
+let largest_cube p =
+  if not (Atomic.get memo_flag) then largest_cube_raw p
+  else
+    match Memo.find p with
+    | Some { Memo.cube = Some c; _ } ->
+      Atomic.incr Memo.hits;
+      c
+    | Some _ | None ->
+      Atomic.incr Memo.misses;
+      let c = largest_cube_raw p in
+      Memo.set_cube p c;
+      c
 
 let is_cube_free p = Monomial.is_one (largest_cube p)
 
+(* Dividing every term by the same cube is a strictly order-preserving
+   monomial map (the graded-lex order is compatible with multiplication),
+   so the quotient term lists below are already sorted and duplicate-free:
+   [Poly.of_sorted_terms] skips the hashtable-and-sort of [Poly.of_terms]. *)
+
 let cube_free_part p =
-  match Monomial.div Monomial.one (largest_cube p) with
-  | Some _ -> p (* largest cube is 1 *)
-  | None ->
-    let c = largest_cube p in
-    Poly.of_terms
+  let c = largest_cube p in
+  if Monomial.is_one c then p
+  else
+    Poly.of_sorted_terms
       (List.map
          (fun (k, m) ->
            match Monomial.div m c with
@@ -23,13 +120,15 @@ let cube_free_part p =
          (Poly.terms p))
 
 let divide_cube p c =
-  Poly.of_terms
-    (List.filter_map
-       (fun (k, m) ->
-         match Monomial.div m c with
-         | Some m' -> Some (k, m')
-         | None -> None)
-       (Poly.terms p))
+  if Monomial.is_one c then p
+  else
+    Poly.of_sorted_terms
+      (List.filter_map
+         (fun (k, m) ->
+           match Monomial.div m c with
+           | Some m' -> Some (k, m')
+           | None -> None)
+         (Poly.terms p))
 
 module PolySet = Set.Make (struct
   type t = Monomial.t * Poly.t
@@ -43,14 +142,16 @@ end)
    [j] only literals of index >= j are divided out, and a candidate whose
    extracted cube re-introduces an earlier literal is skipped because the
    same kernel was already produced along that literal's branch. *)
-let kernels p =
+module Symtab = Polysynth_poly.Symtab
+
+let kernels_raw p =
   if Poly.is_zero p then []
   else begin
-    let vars = Array.of_list (Poly.vars p) in
-    let index_of v =
-      let rec find i = if vars.(i) = v then i else find (i + 1) in
-      find 0
-    in
+    (* the indexed literal order, as pre-interned ids: the recursion only
+       touches integers from here on *)
+    let vars = Array.of_list (List.map Symtab.intern (Poly.vars p)) in
+    let index = Array.make (Symtab.size ()) max_int in
+    Array.iteri (fun i id -> index.(id) <- i) vars;
     let acc = ref PolySet.empty in
     let consider cokernel kernel =
       if Poly.num_terms kernel >= 2 then
@@ -59,33 +160,46 @@ let kernels p =
     let rec explore j cokernel pol =
       consider cokernel pol;
       Array.iteri
-        (fun k v ->
+        (fun k id ->
           if k >= j then begin
             let in_terms =
-              List.length
-                (List.filter
-                   (fun (_, m) -> Monomial.mentions v m)
-                   (Poly.terms pol))
+              List.fold_left
+                (fun n (_, m) -> if Monomial.mentions_id id m then n + 1 else n)
+                0 (Poly.terms pol)
             in
             if in_terms >= 2 then begin
-              let f = divide_cube pol (Monomial.var v) in
+              let f = divide_cube pol (Monomial.var_of_id id) in
               if Poly.num_terms f >= 2 then begin
-                let c = largest_cube f in
+                let c = largest_cube_raw f in
                 let f1 = divide_cube f c in
                 let earlier_literal =
-                  List.exists (fun v' -> index_of v' < k) (Monomial.vars c)
+                  Array.exists (fun id' -> index.(id') < k) (Monomial.var_ids c)
                 in
                 if not earlier_literal then
                   explore k
-                    (Monomial.mul cokernel (Monomial.mul (Monomial.var v) c))
+                    (Monomial.mul cokernel
+                       (Monomial.mul (Monomial.var_of_id id) c))
                     f1
               end
             end
           end)
         vars
     in
-    let c0 = largest_cube p in
+    let c0 = largest_cube_raw p in
     let p0 = divide_cube p c0 in
     explore 0 c0 p0;
     PolySet.elements !acc
   end
+
+let kernels p =
+  if not (Atomic.get memo_flag) then kernels_raw p
+  else
+    match Memo.find p with
+    | Some { Memo.kernels = Some ks; _ } ->
+      Atomic.incr Memo.hits;
+      ks
+    | Some _ | None ->
+      Atomic.incr Memo.misses;
+      let ks = kernels_raw p in
+      Memo.set_kernels p ks;
+      ks

@@ -4,10 +4,31 @@
     For a polynomial [P] and a cube [c], the quotient [P/c] (keeping only
     the terms divisible by [c]) is a {e kernel} when it is cube-free and has
     at least two terms; [c] is the corresponding {e co-kernel}.  Kernels are
-    the candidate multi-term factors that factoring and CSE work with. *)
+    the candidate multi-term factors that factoring and CSE work with.
+
+    [kernels] and [largest_cube] are memoized in a bounded, domain-safe
+    table keyed by the polynomial's hash: the extraction loop re-kernels
+    its (mostly unchanged) work items every round, so results are served
+    from cache across rounds.  The hit/miss counters surface in the engine
+    trace, and [Polysynth_core.Engine.clear_cache] drops this table along
+    with the representation store. *)
 
 module Poly := Polysynth_poly.Poly
 module Monomial := Polysynth_poly.Monomial
+
+val clear_cache : unit -> unit
+(** Drop the kernelling memo table and reset its counters. *)
+
+val set_memo_enabled : bool -> unit
+(** Globally enable/disable the memo table (default: enabled).  When
+    disabled, [kernels]/[largest_cube] always recompute and the counters
+    stay untouched; the engine flips this from its [cache] setting for the
+    duration of a traced run and restores it after. *)
+
+val memo_enabled : unit -> bool
+
+val cache_stats : unit -> int * int
+(** Cumulative (hits, misses) of the kernelling memo table. *)
 
 val largest_cube : Poly.t -> Monomial.t
 (** The biggest cube (product of variables) dividing every term;

@@ -34,8 +34,8 @@ let falling_of_terms ts = Poly.of_terms ts
    variable, accumulating (coefficient, falling-monomial) pairs. *)
 let to_falling p =
   let expand_term (c, m) =
-    List.fold_left
-      (fun partial (v, e) ->
+    Monomial.fold
+      (fun partial v e ->
         List.concat_map
           (fun (c0, m0) ->
             List.filter_map
@@ -51,7 +51,7 @@ let to_falling p =
               (List.init (e + 1) Fun.id))
           partial)
       [ (c, Monomial.one) ]
-      (Monomial.to_list m)
+      m
   in
   Poly.of_terms (List.concat_map expand_term (Poly.terms p))
 
@@ -71,9 +71,9 @@ let of_falling f =
   List.fold_left
     (fun acc (c, m) ->
       let product =
-        List.fold_left
-          (fun acc (v, k) -> Poly.mul acc (falling_factorial_poly v k))
-          Poly.one (Monomial.to_list m)
+        Monomial.fold
+          (fun acc v k -> Poly.mul acc (falling_factorial_poly v k))
+          Poly.one m
       in
       Poly.add acc (Poly.mul_scalar c product))
     Poly.zero (falling_terms f)
@@ -84,10 +84,7 @@ let vanishing_term ctx m =
 let term_modulus ctx m =
   let pow_m = Z.pow2 ctx.out_width in
   let prod_fact =
-    List.fold_left
-      (fun acc (_, k) -> Z.mul acc (Z.factorial k))
-      Z.one (Monomial.to_list m)
-  in
+    Monomial.fold (fun acc _ k -> Z.mul acc (Z.factorial k)) Z.one m in
   Z.divexact pow_m (Z.gcd pow_m prod_fact)
 
 let canonicalize ctx p =

@@ -1,129 +1,402 @@
 module Z = Polysynth_zint.Zint
 
-(* Sorted association list variable -> exponent, exponents strictly
-   positive.  The invariant is maintained by every smart constructor. *)
-type t = (string * int) list
+(* Interned packed representation: [pairs] interleaves (variable id,
+   exponent) with exponents strictly positive, sorted by the alphabetical
+   rank of the id's name (see {!Symtab} — that order is append-stable, so
+   the array never needs resorting).  Total degree and a structural hash
+   are precomputed, making [degree]/[hash] O(1) and giving [equal] and the
+   hashtable paths an O(1) negative fast path; all the merge loops
+   ([mul]/[div]/[gcd]/[lcm]/[compare]) run on ints only. *)
+type t = {
+  pairs : int array;  (* id0; e0; id1; e1; ... *)
+  degree : int;
+  hash : int;
+}
 
-let one = []
+let compute_degree pairs =
+  let d = ref 0 in
+  let n = Array.length pairs in
+  let i = ref 1 in
+  while !i < n do
+    d := !d + pairs.(!i);
+    i := !i + 2
+  done;
+  !d
 
-let of_list bindings =
-  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) bindings in
-  let rec combine = function
-    | [] -> []
-    | (v, e) :: rest ->
-      if e < 0 then invalid_arg "Monomial.of_list: negative exponent";
-      (match combine rest with
-       | (v', e') :: tail when String.equal v v' -> (v, e + e') :: tail
-       | tail -> if e = 0 then tail else (v, e) :: tail)
-  in
-  combine sorted
+let compute_hash pairs =
+  Array.fold_left (fun acc x -> ((acc * 131) + x) land max_int) 17 pairs
+
+let mk pairs =
+  { pairs; degree = compute_degree pairs; hash = compute_hash pairs }
+
+let degree m = m.degree
+let hash m = m.hash
+let is_one m = Array.length m.pairs = 0
+
+let structural_equal a b =
+  a == b
+  || (a.hash = b.hash && a.degree = b.degree
+      &&
+      let pa = a.pairs and pb = b.pairs in
+      let n = Array.length pa in
+      n = Array.length pb
+      &&
+      let rec go i = i >= n || (pa.(i) = pb.(i) && go (i + 1)) in
+      go 0)
+
+let equal = structural_equal
+
+(* ---- hash-consing ------------------------------------------------------ *)
+
+(* Optional sharing: structurally equal monomials built through the
+   string-based constructors are physically shared across a synthesis run,
+   turning their [equal] into pointer equality.  The weak set lets the GC
+   reclaim monomials no longer referenced anywhere else.  The hot integer
+   merge loops below do NOT pay the table lookup; sharing is applied where
+   monomials enter the system ([var]/[of_list]) and on demand via
+   [hashcons]. *)
+module HC = Weak.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash m = m.hash
+end)
+
+let hc_table = HC.create 4096
+let hc_lock = Mutex.create ()
+let hashcons m = Mutex.protect hc_lock (fun () -> HC.merge hc_table m)
+
+let one = hashcons (mk [||])
+
+(* the exponent-1 monomial of every interned variable, cached per id so the
+   extraction loops' ubiquitous [Monomial.var v] is an array load *)
+let var_cache = Atomic.make ([||] : t array)
+let var_lock = Mutex.create ()
+
+let of_var_id id =
+  let cache = Atomic.get var_cache in
+  if id < Array.length cache then cache.(id)
+  else
+    Mutex.protect var_lock (fun () ->
+        let cache = Atomic.get var_cache in
+        if id < Array.length cache then cache.(id)
+        else begin
+          let n = Symtab.size () in
+          let fresh =
+            Array.init n (fun i ->
+                if i < Array.length cache then cache.(i)
+                else hashcons (mk [| i; 1 |]))
+          in
+          Atomic.set var_cache fresh;
+          fresh.(id)
+        end)
 
 let var ?(exp = 1) name =
   if exp <= 0 then invalid_arg "Monomial.var: non-positive exponent";
   if String.length name = 0 then invalid_arg "Monomial.var: empty name";
-  [ (name, exp) ]
+  let id = Symtab.intern name in
+  if exp = 1 then of_var_id id else hashcons (mk [| id; exp |])
 
-let to_list m = m
+let of_list bindings =
+  match bindings with
+  | [] -> one
+  | bindings ->
+    let arr =
+      Array.of_list
+        (List.map
+           (fun (v, e) ->
+             if e < 0 then invalid_arg "Monomial.of_list: negative exponent";
+             (Symtab.intern v, e))
+           bindings)
+    in
+    let rk = Symtab.ranks () in
+    Array.sort (fun (a, _) (b, _) -> Int.compare rk.(a) rk.(b)) arr;
+    (* single left-to-right pass: duplicates are adjacent after the sort *)
+    let out = Array.make (2 * Array.length arr) 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun (id, e) ->
+        if !k > 0 && out.(!k - 2) = id then out.(!k - 1) <- out.(!k - 1) + e
+        else begin
+          out.(!k) <- id;
+          out.(!k + 1) <- e;
+          k := !k + 2
+        end)
+      arr;
+    (* compact away zero exponents *)
+    let nonzero = ref 0 in
+    let i = ref 0 in
+    while !i < !k do
+      if out.(!i + 1) > 0 then incr nonzero;
+      i := !i + 2
+    done;
+    let pairs = Array.make (2 * !nonzero) 0 in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < !k do
+      if out.(!i + 1) > 0 then begin
+        pairs.(!j) <- out.(!i);
+        pairs.(!j + 1) <- out.(!i + 1);
+        j := !j + 2
+      end;
+      i := !i + 2
+    done;
+    if Array.length pairs = 0 then one else hashcons (mk pairs)
 
-let is_one m = m = []
+let to_list m =
+  let n = Array.length m.pairs in
+  let rec go i =
+    if i >= n then []
+    else (Symtab.name_of m.pairs.(i), m.pairs.(i + 1)) :: go (i + 2)
+  in
+  go 0
 
-let degree m = List.fold_left (fun acc (_, e) -> acc + e) 0 m
+let fold f acc m =
+  let n = Array.length m.pairs in
+  let rec go acc i =
+    if i >= n then acc
+    else go (f acc (Symtab.name_of m.pairs.(i)) m.pairs.(i + 1)) (i + 2)
+  in
+  go acc 0
+
+let find_id m id =
+  let n = Array.length m.pairs in
+  let rec go i =
+    if i >= n then 0 else if m.pairs.(i) = id then m.pairs.(i + 1) else go (i + 2)
+  in
+  go 0
 
 let degree_of v m =
-  match List.assoc_opt v m with Some e -> e | None -> 0
+  match Symtab.find v with None -> 0 | Some id -> find_id m id
 
-let vars m = List.map fst m
+let mentions v m = degree_of v m > 0
 
-let mentions v m = List.mem_assoc v m
+let mentions_id id m = find_id m id > 0
 
-let equal (a : t) (b : t) = a = b
+let var_ids m =
+  let n = Array.length m.pairs / 2 in
+  Array.init n (fun i -> m.pairs.(2 * i))
+
+let var_of_id id =
+  if id < 0 || id >= Symtab.size () then
+    invalid_arg "Monomial.var_of_id: unknown id";
+  of_var_id id
+
+let vars m =
+  let n = Array.length m.pairs in
+  let rec go i =
+    if i >= n then [] else Symtab.name_of m.pairs.(i) :: go (i + 2)
+  in
+  go 0
 
 (* Graded lexicographic order: total degree first, ties broken
    lexicographically with alphabetically-earlier variables more significant.
    This is a genuine monomial order (compatible with multiplication, with 1
-   minimal), which the polynomial division algorithms rely on. *)
+   minimal), which the polynomial division algorithms rely on.  Variable
+   comparisons go through the rank snapshot: the relative order of two
+   interned variables is append-stable, so results never change as more
+   variables are interned. *)
 let compare a b =
-  let c = Stdlib.compare (degree a) (degree b) in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let rec lex a b =
-      match a, b with
-      | [], [] -> 0
-      | [], _ :: _ -> -1
-      | _ :: _, [] -> 1
-      | (va, ea) :: ra, (vb, eb) :: rb ->
-        let c = String.compare va vb in
-        if c < 0 then 1
-        else if c > 0 then -1
-        else if ea <> eb then Stdlib.compare ea eb
-        else lex ra rb
-    in
-    lex a b
+    let c = Int.compare a.degree b.degree in
+    if c <> 0 then c
+    else begin
+      let rk = Symtab.ranks () in
+      let pa = a.pairs and pb = b.pairs in
+      let na = Array.length pa and nb = Array.length pb in
+      let rec lex i j =
+        if i >= na then (if j >= nb then 0 else -1)
+        else if j >= nb then 1
+        else
+          let ra = rk.(pa.(i)) and rb = rk.(pb.(j)) in
+          if ra < rb then 1
+          else if ra > rb then -1
+          else
+            let ea = pa.(i + 1) and eb = pb.(j + 1) in
+            if ea <> eb then Int.compare ea eb else lex (i + 2) (j + 2)
+      in
+      lex 0 0
+    end
 
-let hash m =
-  List.fold_left
-    (fun acc (v, e) -> (acc * 131 + Hashtbl.hash v + e) land max_int)
-    17 m
-
-let rec mul a b =
-  match a, b with
-  | [], m | m, [] -> m
-  | (va, ea) :: ra, (vb, eb) :: rb ->
-    let c = String.compare va vb in
-    if c = 0 then (va, ea + eb) :: mul ra rb
-    else if c < 0 then (va, ea) :: mul ra b
-    else (vb, eb) :: mul a rb
-
-let rec divides d m =
-  match d, m with
-  | [], _ -> true
-  | _ :: _, [] -> false
-  | (vd, ed) :: rd, (vm, em) :: rm ->
-    let c = String.compare vd vm in
-    if c < 0 then false
-    else if c > 0 then divides d rm
-    else ed <= em && divides rd rm
-
-let div m d =
-  if not (divides d m) then None
+let mul a b =
+  if is_one a then b
+  else if is_one b then a
   else begin
-    let rec go m d =
-      match m, d with
-      | m, [] -> m
-      | [], _ :: _ -> assert false
-      | (vm, em) :: rm, (vd, ed) :: rd ->
-        let c = String.compare vm vd in
-        if c < 0 then (vm, em) :: go rm d
-        else begin
-          assert (c = 0);
-          if em = ed then go rm rd else (vm, em - ed) :: go rm rd
-        end
+    let rk = Symtab.ranks () in
+    let pa = a.pairs and pb = b.pairs in
+    let na = Array.length pa and nb = Array.length pb in
+    let out = Array.make (na + nb) 0 in
+    let rec go i j k =
+      if i >= na && j >= nb then k
+      else if j >= nb || (i < na && rk.(pa.(i)) < rk.(pb.(j))) then begin
+        out.(k) <- pa.(i);
+        out.(k + 1) <- pa.(i + 1);
+        go (i + 2) j (k + 2)
+      end
+      else if i >= na || rk.(pb.(j)) < rk.(pa.(i)) then begin
+        out.(k) <- pb.(j);
+        out.(k + 1) <- pb.(j + 1);
+        go i (j + 2) (k + 2)
+      end
+      else begin
+        out.(k) <- pa.(i);
+        out.(k + 1) <- pa.(i + 1) + pb.(j + 1);
+        go (i + 2) (j + 2) (k + 2)
+      end
     in
-    Some (go m d)
+    let k = go 0 0 0 in
+    mk (if k = na + nb then out else Array.sub out 0 k)
   end
 
-let rec gcd a b =
-  match a, b with
-  | [], _ | _, [] -> []
-  | (va, ea) :: ra, (vb, eb) :: rb ->
-    let c = String.compare va vb in
-    if c = 0 then (va, Stdlib.min ea eb) :: gcd ra rb
-    else if c < 0 then gcd ra b
-    else gcd a rb
+let divides d m =
+  d.degree <= m.degree
+  &&
+  let rk = Symtab.ranks () in
+  let pd = d.pairs and pm = m.pairs in
+  let nd = Array.length pd and nm = Array.length pm in
+  let rec go i j =
+    if i >= nd then true
+    else if j >= nm then false
+    else
+      let rd = rk.(pd.(i)) and rm = rk.(pm.(j)) in
+      if rd < rm then false
+      else if rd > rm then go i (j + 2)
+      else pd.(i + 1) <= pm.(j + 1) && go (i + 2) (j + 2)
+  in
+  go 0 0
 
-let rec lcm a b =
-  match a, b with
-  | [], m | m, [] -> m
-  | (va, ea) :: ra, (vb, eb) :: rb ->
-    let c = String.compare va vb in
-    if c = 0 then (va, Stdlib.max ea eb) :: lcm ra rb
-    else if c < 0 then (va, ea) :: lcm ra b
-    else (vb, eb) :: lcm a rb
+let div m d =
+  if is_one d then Some m
+  else if d.degree > m.degree then None
+  else begin
+    let rk = Symtab.ranks () in
+    let pm = m.pairs and pd = d.pairs in
+    let nm = Array.length pm and nd = Array.length pd in
+    let out = Array.make nm 0 in
+    let rec go i j k =
+      if j >= nd then begin
+        (* copy what is left of m *)
+        let rec copy i k =
+          if i >= nm then Some k
+          else begin
+            out.(k) <- pm.(i);
+            out.(k + 1) <- pm.(i + 1);
+            copy (i + 2) (k + 2)
+          end
+        in
+        copy i k
+      end
+      else if i >= nm then None
+      else
+        let rm = rk.(pm.(i)) and rd = rk.(pd.(j)) in
+        if rm < rd then begin
+          out.(k) <- pm.(i);
+          out.(k + 1) <- pm.(i + 1);
+          go (i + 2) j (k + 2)
+        end
+        else if rm > rd then None
+        else
+          let e = pm.(i + 1) - pd.(j + 1) in
+          if e < 0 then None
+          else if e = 0 then go (i + 2) (j + 2) k
+          else begin
+            out.(k) <- pm.(i);
+            out.(k + 1) <- e;
+            go (i + 2) (j + 2) (k + 2)
+          end
+    in
+    match go 0 0 0 with
+    | None -> None
+    | Some 0 -> Some one
+    | Some k -> Some (mk (if k = nm then out else Array.sub out 0 k))
+  end
 
-let remove_var v m = List.filter (fun (v', _) -> not (String.equal v v')) m
+let gcd a b =
+  if is_one a || is_one b then one
+  else begin
+    let rk = Symtab.ranks () in
+    let pa = a.pairs and pb = b.pairs in
+    let na = Array.length pa and nb = Array.length pb in
+    let out = Array.make (Stdlib.min na nb) 0 in
+    let rec go i j k =
+      if i >= na || j >= nb then k
+      else
+        let ra = rk.(pa.(i)) and rb = rk.(pb.(j)) in
+        if ra < rb then go (i + 2) j k
+        else if ra > rb then go i (j + 2) k
+        else begin
+          out.(k) <- pa.(i);
+          out.(k + 1) <- Stdlib.min pa.(i + 1) pb.(j + 1);
+          go (i + 2) (j + 2) (k + 2)
+        end
+    in
+    match go 0 0 0 with
+    | 0 -> one
+    | k -> mk (if k = Array.length out then out else Array.sub out 0 k)
+  end
+
+let lcm a b =
+  if is_one a then b
+  else if is_one b then a
+  else begin
+    let rk = Symtab.ranks () in
+    let pa = a.pairs and pb = b.pairs in
+    let na = Array.length pa and nb = Array.length pb in
+    let out = Array.make (na + nb) 0 in
+    let rec go i j k =
+      if i >= na && j >= nb then k
+      else if j >= nb || (i < na && rk.(pa.(i)) < rk.(pb.(j))) then begin
+        out.(k) <- pa.(i);
+        out.(k + 1) <- pa.(i + 1);
+        go (i + 2) j (k + 2)
+      end
+      else if i >= na || rk.(pb.(j)) < rk.(pa.(i)) then begin
+        out.(k) <- pb.(j);
+        out.(k + 1) <- pb.(j + 1);
+        go i (j + 2) (k + 2)
+      end
+      else begin
+        out.(k) <- pa.(i);
+        out.(k + 1) <- Stdlib.max pa.(i + 1) pb.(j + 1);
+        go (i + 2) (j + 2) (k + 2)
+      end
+    in
+    let k = go 0 0 0 in
+    mk (if k = na + nb then out else Array.sub out 0 k)
+  end
+
+let remove_var v m =
+  match Symtab.find v with
+  | None -> m
+  | Some id ->
+    if find_id m id = 0 then m
+    else begin
+      let n = Array.length m.pairs in
+      let pairs = Array.make (n - 2) 0 in
+      let k = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        if m.pairs.(!i) <> id then begin
+          pairs.(!k) <- m.pairs.(!i);
+          pairs.(!k + 1) <- m.pairs.(!i + 1);
+          k := !k + 2
+        end;
+        i := !i + 2
+      done;
+      if Array.length pairs = 0 then one else mk pairs
+    end
 
 let eval env m =
-  List.fold_left (fun acc (v, e) -> Z.mul acc (Z.pow (env v) e)) Z.one m
+  let n = Array.length m.pairs in
+  let rec go acc i =
+    if i >= n then acc
+    else
+      go
+        (Z.mul acc (Z.pow (env (Symtab.name_of m.pairs.(i))) m.pairs.(i + 1)))
+        (i + 2)
+  in
+  go Z.one 0
 
 let to_string m =
   if is_one m then "1"
@@ -131,6 +404,6 @@ let to_string m =
     String.concat "*"
       (List.map
          (fun (v, e) -> if e = 1 then v else Printf.sprintf "%s^%d" v e)
-         m)
+         (to_list m))
 
 let pp fmt m = Format.pp_print_string fmt (to_string m)

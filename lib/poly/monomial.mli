@@ -3,7 +3,13 @@
 
     A monomial maps variable names to strictly positive exponents.  The
     ordering is graded lexicographic: higher total degree first, then
-    lexicographic on variable names. *)
+    lexicographic on variable names.
+
+    Internally variables are interned through {!Symtab} and a monomial is
+    a packed integer array carrying a precomputed hash and total degree:
+    [degree], [hash] and the negative case of [equal] are O(1), and
+    [compare]/[mul]/[div]/[gcd]/[lcm] are integer-only merge loops.  The
+    string-based API below is unchanged and remains the public surface. *)
 
 type t
 
@@ -33,11 +39,39 @@ val vars : t -> string list
 
 val mentions : string -> t -> bool
 
+(** {2 Interned-id views}
+
+    Hot loops that repeatedly probe the same variables can pre-intern the
+    names once (via {!Symtab.intern}) and use these id-level entry points,
+    skipping the per-call name lookup. *)
+
+val var_ids : t -> int array
+(** The interned ids of the monomial's variables, in name order. *)
+
+val mentions_id : int -> t -> bool
+(** [mentions_id (Symtab.intern v) m] = [mentions v m]. *)
+
+val var_of_id : int -> t
+(** The exponent-1 monomial of an interned variable id (physically
+    shared).  @raise Invalid_argument on an unknown id. *)
+
+val fold : ('a -> string -> int -> 'a) -> 'a -> t -> 'a
+(** [fold f acc m] folds over the (variable, exponent) pairs in name
+    order without building the intermediate list of {!to_list}. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 (** Graded lexicographic order. *)
 
 val hash : t -> int
+(** Precomputed structural hash (O(1)). *)
+
+val hashcons : t -> t
+(** The canonical physically-shared copy of the monomial: structurally
+    equal arguments return the same pointer for the lifetime of the value.
+    The constructors going through variable names ({!var}, {!of_list})
+    already return shared monomials; results of the arithmetic operations
+    are not shared unless passed through here. *)
 
 val mul : t -> t -> t
 

@@ -1,18 +1,16 @@
 module Z = Polysynth_zint.Zint
 
-module Mmap = Map.Make (Monomial)
+module Mtbl = Hashtbl.Make (struct
+  type t = Monomial.t
+
+  let equal = Monomial.equal
+  let hash = Monomial.hash
+end)
 
 (* Terms in descending graded-lex order, all coefficients non-zero. *)
 type t = (Z.t * Monomial.t) list
 
 let zero = []
-
-let of_map map =
-  Mmap.fold
-    (fun m c acc -> if Z.is_zero c then acc else (c, m) :: acc)
-    map []
-(* Mmap.fold visits keys in increasing order, so prepending yields the
-   descending order we maintain. *)
 
 let term c m = if Z.is_zero c then zero else [ (c, m) ]
 
@@ -22,18 +20,27 @@ let one = of_int 1
 let var ?exp name = term Z.one (Monomial.var ?exp name)
 let monomial m = term Z.one m
 
+(* Combine duplicates through a hashtable on the monomials' precomputed
+   hashes (O(n) expected) and sort the surviving terms once, instead of
+   the O(n log n) comparison-heavy [Map.Make(Monomial)] churn. *)
 let of_terms list =
-  let map =
-    List.fold_left
-      (fun acc (c, m) ->
-        let c' = match Mmap.find_opt m acc with
-          | Some c0 -> Z.add c0 c
-          | None -> c
-        in
-        Mmap.add m c' acc)
-      Mmap.empty list
-  in
-  of_map map
+  match list with
+  | [] -> zero
+  | [ (c, m) ] -> term c m
+  | list ->
+    let tbl = Mtbl.create 32 in
+    List.iter
+      (fun (c, m) ->
+        match Mtbl.find_opt tbl m with
+        | Some c0 -> Mtbl.replace tbl m (Z.add c0 c)
+        | None -> Mtbl.add tbl m c)
+      list;
+    let terms =
+      Mtbl.fold (fun m c acc -> if Z.is_zero c then acc else (c, m) :: acc) tbl []
+    in
+    List.sort (fun (_, m1) (_, m2) -> Monomial.compare m2 m1) terms
+
+let of_sorted_terms list = (list : t)
 
 let terms p = p
 let num_terms p = List.length p

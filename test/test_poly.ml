@@ -2,6 +2,7 @@ module Z = Polysynth_zint.Zint
 module Mono = Polysynth_poly.Monomial
 module P = Polysynth_poly.Poly
 module Parse = Polysynth_poly.Parse
+module Symtab = Polysynth_poly.Symtab
 
 let poly = Alcotest.testable P.pp P.equal
 let check_p = Alcotest.check poly
@@ -81,6 +82,171 @@ let test_mono_gcd_lcm () =
   Alcotest.check mono "lcm"
     (m [ ("x", 2); ("y", 3); ("z", 1) ])
     (Mono.lcm (m [ ("x", 2); ("y", 1) ]) (m [ ("x", 1); ("y", 3); ("z", 1) ]))
+
+(* regression: of_list used to combine duplicates with a quadratic,
+   non-tail-recursive pass; 10k bindings must stay instant and safe *)
+let test_mono_of_list_large () =
+  let n = 10_000 in
+  let bindings = List.init n (fun i -> ("lv" ^ string_of_int (i mod 7), 1)) in
+  let m = Mono.of_list bindings in
+  Alcotest.(check int) "degree" n (Mono.degree m);
+  Alcotest.(check int) "distinct vars" 7 (List.length (Mono.to_list m))
+
+(* reference semantics --------------------------------------------------------
+
+   An executable model of the monomial order on plain sorted association
+   lists, independent of the interned packed representation.  The
+   properties below check that the interned [Monomial] agrees with it on
+   every operation, through the [to_list] view. *)
+
+module MRef = struct
+  (* a monomial is a (string * int) list sorted by name, all exponents > 0 *)
+
+  let of_list l =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (v, e) ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+        Hashtbl.replace tbl v (prev + e))
+      l;
+    Hashtbl.fold (fun v e acc -> if e > 0 then (v, e) :: acc else acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let degree m = List.fold_left (fun n (_, e) -> n + e) 0 m
+
+  (* graded lex: total degree first, then alphabetically-earlier variables
+     are more significant and a higher exponent on them wins *)
+  let compare a b =
+    let c = Stdlib.compare (degree a) (degree b) in
+    if c <> 0 then c
+    else
+      let rec lex a b =
+        match (a, b) with
+        | [], [] -> 0
+        | [], _ :: _ -> -1
+        | _ :: _, [] -> 1
+        | (va, ea) :: ta, (vb, eb) :: tb ->
+          let c = String.compare va vb in
+          if c < 0 then 1
+          else if c > 0 then -1
+          else if ea <> eb then Stdlib.compare ea eb
+          else lex ta tb
+      in
+      lex a b
+
+  let mul a b = of_list (a @ b)
+
+  let gcd a b =
+    List.filter_map
+      (fun (v, e) ->
+        match List.assoc_opt v b with
+        | Some e' -> Some (v, Stdlib.min e e')
+        | None -> None)
+      a
+
+  let div a b =
+    let exp m v = Option.value ~default:0 (List.assoc_opt v m) in
+    if List.for_all (fun (v, e) -> e <= exp a v) b then
+      Some (of_list (a @ List.map (fun (v, e) -> (v, -e)) b))
+    else None
+end
+
+let gen_bindings =
+  QCheck.Gen.(
+    list_size (int_range 0 8)
+      (pair (oneofl [ "x"; "y"; "z"; "w"; "u"; "v" ]) (int_range 0 4)))
+
+let print_bindings l =
+  "["
+  ^ String.concat "; "
+      (List.map (fun (v, e) -> v ^ "^" ^ string_of_int e) l)
+  ^ "]"
+
+let arb_bindings = QCheck.make gen_bindings ~print:print_bindings
+
+let arb_two_bindings =
+  QCheck.make
+    QCheck.Gen.(pair gen_bindings gen_bindings)
+    ~print:(fun (a, b) -> print_bindings a ^ " || " ^ print_bindings b)
+
+let sign n = Stdlib.compare n 0
+
+let prop_mono_of_list_ref =
+  prop "interned of_list matches reference" arb_bindings (fun l ->
+      Mono.to_list (Mono.of_list l) = MRef.of_list l)
+
+let prop_mono_compare_ref =
+  prop "interned compare matches reference" arb_two_bindings (fun (a, b) ->
+      sign (Mono.compare (Mono.of_list a) (Mono.of_list b))
+      = sign (MRef.compare (MRef.of_list a) (MRef.of_list b)))
+
+let prop_mono_mul_gcd_ref =
+  prop "interned mul/gcd match reference" arb_two_bindings (fun (a, b) ->
+      let ma = Mono.of_list a and mb = Mono.of_list b in
+      Mono.to_list (Mono.mul ma mb) = MRef.mul (MRef.of_list a) (MRef.of_list b)
+      && Mono.to_list (Mono.gcd ma mb)
+         = MRef.gcd (MRef.of_list a) (MRef.of_list b))
+
+let prop_mono_div_ref =
+  prop "interned div matches reference" arb_two_bindings (fun (a, b) ->
+      let ma = Mono.of_list a and mb = Mono.of_list b in
+      match (Mono.div ma mb, MRef.div (MRef.of_list a) (MRef.of_list b)) with
+      | Some q, Some q' -> Mono.to_list q = q'
+      | None, None -> true
+      | _ -> false)
+
+let gen_raw_terms =
+  QCheck.Gen.(list_size (int_range 0 10) (pair (int_range (-5) 5) gen_bindings))
+
+let arb_raw_terms =
+  QCheck.make gen_raw_terms ~print:(fun raw ->
+      String.concat " + "
+        (List.map
+           (fun (c, l) -> string_of_int c ^ "*" ^ print_bindings l)
+           raw))
+
+let prop_of_terms_ref =
+  prop "of_terms combines like reference" arb_raw_terms (fun raw ->
+      let poly =
+        P.of_terms (List.map (fun (c, l) -> (Z.of_int c, Mono.of_list l)) raw)
+      in
+      let expected =
+        List.fold_left
+          (fun acc (c, l) ->
+            let key = MRef.of_list l in
+            let prev = Option.value ~default:0 (List.assoc_opt key acc) in
+            (key, prev + c) :: List.remove_assoc key acc)
+          [] raw
+        |> List.filter (fun (_, c) -> c <> 0)
+        |> List.map (fun (k, c) -> (c, k))
+        |> List.sort (fun (_, m1) (_, m2) -> MRef.compare m2 m1)
+      in
+      List.map (fun (c, m) -> (Z.to_int_exn c, Mono.to_list m)) (P.terms poly)
+      = expected)
+
+let gen_names =
+  QCheck.Gen.(
+    list_size (int_range 1 10)
+      (string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 6)))
+
+let arb_names =
+  QCheck.make gen_names ~print:(fun l -> String.concat " " l)
+
+let prop_symtab_order =
+  prop "symtab injective and order-preserving" arb_names (fun names ->
+      let ids = List.map Symtab.intern names in
+      let ranks = Symtab.ranks () in
+      List.for_all2
+        (fun v id -> Symtab.intern v = id && Symtab.name_of id = v)
+        names ids
+      && List.for_all2
+           (fun v id ->
+             List.for_all2
+               (fun v' id' ->
+                 sign (Stdlib.compare ranks.(id) ranks.(id'))
+                 = sign (String.compare v v'))
+               names ids)
+           names ids)
 
 (* polynomial tests ----------------------------------------------------------- *)
 
@@ -320,6 +486,17 @@ let () =
           Alcotest.test_case "order" `Quick test_mono_order;
           Alcotest.test_case "div" `Quick test_mono_div;
           Alcotest.test_case "gcd lcm" `Quick test_mono_gcd_lcm;
+          Alcotest.test_case "of_list 10k bindings" `Quick
+            test_mono_of_list_large;
+        ] );
+      ( "interning",
+        [
+          prop_mono_of_list_ref;
+          prop_mono_compare_ref;
+          prop_mono_mul_gcd_ref;
+          prop_mono_div_ref;
+          prop_of_terms_ref;
+          prop_symtab_order;
         ] );
       ( "poly",
         [
