@@ -4,9 +4,10 @@
 #   make build   compile everything
 #   make test    run the alcotest/qcheck suites
 #   make fmt     check formatting (skipped when ocamlformat is absent)
-#   make lint    verify + lint every benchmark and example system
-#                (exit 2 on a refuted/unknown certificate, 3 on
-#                error-severity findings)
+#   make lint    verify + lint + certificate-guarded simplify over every
+#                benchmark and example system (exit 2 on a refuted/unknown
+#                certificate, 4 on a scheduler/binder invariant violation,
+#                3 on other error-severity findings)
 #   make bench   quick benchmark smoke run (tables + short timings)
 #   make bench-json
 #                regenerate BENCH_PR3.json (quick mode, speedups vs the
@@ -17,10 +18,10 @@
 ci: build test fmt lint bench bench-json
 
 lint:
-	dune exec bin/polysynth.exe -- --benchmark all --check --lint
+	dune exec bin/polysynth.exe -- --benchmark all --check --lint --simplify
 	@for f in examples/data/*.poly; do \
 	  echo "== $$f"; \
-	  dune exec bin/polysynth.exe -- "$$f" --check --lint || exit $$?; \
+	  dune exec bin/polysynth.exe -- "$$f" --check --lint --simplify || exit $$?; \
 	done
 
 build:

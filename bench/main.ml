@@ -24,6 +24,8 @@ module Kernel = Polysynth_cse.Kernel
 module Cce = Polysynth_core.Cce
 module Integrated = Polysynth_core.Integrated
 module Engine = Polysynth_engine.Engine
+module Netlist = Polysynth_hw.Netlist
+module Simplify = Polysynth_analysis.Simplify
 module Ex = Polysynth_workloads.Examples
 module B = Polysynth_workloads.Benchmarks
 
@@ -105,6 +107,75 @@ let () =
     print_string (T.render_table_14_3 (T.extended_rows ()));
     print_newline ();
     print_string (T.render_implementation (T.implementation_rows ()));
+    print_newline ()
+  end
+
+(* ---- part 1b: certificate-guarded simplify pass --------------------------- *)
+
+(* One row per benchmark: synthesize the proposed decomposition, lower it,
+   run the guarded simplify pass and record how many cells it removed plus
+   its wall time.  The counts also land in the JSON document as the
+   optional [cells_eliminated] field. *)
+
+let bench_slug name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '_')
+    (String.lowercase_ascii name)
+
+(* operator cells that cost hardware: everything except inputs, constants
+   and shifts (free wiring) — the count strength reduction lowers *)
+let costed_ops (n : Netlist.t) =
+  Array.fold_left
+    (fun acc (c : Netlist.cell) ->
+      match c.Netlist.op with
+      | Netlist.Input _ | Netlist.Constant _ | Netlist.Shl _ -> acc
+      | _ -> acc + 1)
+    0 n.Netlist.cells
+
+let simplify_rows () =
+  let names =
+    if quick then quick_names else List.map (fun b -> b.B.name) (B.all ())
+  in
+  List.map
+    (fun n ->
+      let b = Option.get (B.by_name n) in
+      let config =
+        {
+          (Engine.Config.default ~width:b.B.width) with
+          Engine.Config.parallelism = 1;
+          certify = false;
+        }
+      in
+      let r, _ = Engine.synthesize config b.B.polys in
+      let net = Netlist.of_prog ~width:b.B.width r.Engine.prog in
+      let named =
+        List.mapi (fun i p -> (Printf.sprintf "P%d" (i + 1), p)) b.B.polys
+      in
+      let t0 = Unix.gettimeofday () in
+      let o = Simplify.run ~system:named net in
+      let t1 = Unix.gettimeofday () in
+      (b.B.name, net, o, Float.max 1.0 ((t1 -. t0) *. 1e9)))
+    names
+
+let simplify_results = simplify_rows ()
+
+let () =
+  if json_mode then ()
+  else begin
+    print_endline
+      "=== Certificate-guarded simplify pass (proposed netlists) ===";
+    List.iter
+      (fun (name, net, (o : Simplify.outcome), _ns) ->
+        Printf.printf
+          "  %-10s cells %3d -> %3d, costed ops %3d -> %3d  (%d \
+           rewrite(s) applied, %d cell(s) eliminated)\n"
+          name o.Simplify.stats.Simplify.cells_before
+          o.Simplify.stats.Simplify.cells_after (costed_ops net)
+          (costed_ops o.Simplify.netlist)
+          o.Simplify.stats.Simplify.applied
+          (Simplify.cells_eliminated o))
+      simplify_results;
     print_newline ()
   end
 
@@ -282,8 +353,17 @@ let () =
     in
     let entries =
       List.map
-        (fun (name, ns) -> { Bench_json.name; ns_per_run = ns })
+        (fun (name, ns) ->
+          { Bench_json.name; ns_per_run = ns; cells_eliminated = None })
         rows
+      @ List.map
+          (fun (name, _net, o, ns) ->
+            {
+              Bench_json.name = "polysynth/simplify_" ^ bench_slug name;
+              ns_per_run = ns;
+              cells_eliminated = Some (Simplify.cells_eliminated o);
+            })
+          simplify_results
     in
     print_string
       (Bench_json.render ?baseline

@@ -1,5 +1,5 @@
 (* Differential fuzzer: random polynomial systems through every synthesis
-   method, cross-checked at four levels —
+   method, cross-checked at five levels —
    1. certificates: the engine's own equivalence certifier must return
       Verified for every method (a Refuted certificate prints its
       counterexample input; Unknown is also a failure here, since these
@@ -10,7 +10,11 @@
    3. lint: the proposed decomposition carries no error-severity
       static-analysis finding;
    4. rewrites: the scheduler (typed result interface) and binder
-      invariants hold on the synthesized netlist.
+      invariants hold on the synthesized netlist;
+   5. simplify: the certificate-guarded simplification pass keeps the
+      netlist Verified against the source system, and never proposes a
+      rewrite the certificate refutes (a Refuted rejection would mean the
+      proposer itself is unsound, not just imprecise).
 
    Usage:  fuzz [ITERATIONS] [SEED]      (defaults: 200, 1)
    Exit code 0 = all checks passed. *)
@@ -25,6 +29,8 @@ module Rand = Polysynth_workloads.Random_system
 module Equiv = Polysynth_analysis.Equiv
 module Diag = Polysynth_analysis.Diag
 module Suite = Polysynth_analysis.Suite
+module Simplify = Polysynth_analysis.Simplify
+module Canonical = Polysynth_finite_ring.Canonical
 
 type rng = { mutable state : int }
 
@@ -119,6 +125,28 @@ let () =
        if not (Schedule.is_valid res n s) then fail "invalid schedule";
        let b = Bind.bind res n s in
        if not (Bind.is_consistent n s b) then fail "inconsistent binding");
+    (* 5. the guarded simplify pass preserves semantics *)
+    let named =
+      List.mapi (fun k p -> (Printf.sprintf "P%d" (k + 1), p)) system
+    in
+    let o = Simplify.run ~system:named n in
+    (match
+       Equiv.certify
+         ~ctx:(Canonical.make_ctx ~out_width:width ())
+         system
+         (Netlist.to_prog o.Simplify.netlist)
+     with
+     | Equiv.Verified -> ()
+     | c ->
+       fail "simplified netlist not verified: %s" (Equiv.cert_to_string c));
+    List.iter
+      (fun ((rw : Simplify.rewrite), (c : Equiv.cert)) ->
+        match c with
+        | Equiv.Refuted _ ->
+          fail "simplify proposed an unsound rewrite: %s"
+            (Simplify.describe rw)
+        | _ -> ())
+      o.Simplify.rejected;
     (* stats *)
     let base = List.nth reports 2 in
     if base.Engine.cost.Polysynth_hw.Cost.area > 0 then

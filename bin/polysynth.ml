@@ -26,6 +26,8 @@ module Search = Polysynth_core.Search
 module Suite = Polysynth_analysis.Suite
 module Equiv = Polysynth_analysis.Equiv
 module Diag = Polysynth_analysis.Diag
+module Absint = Polysynth_analysis.Absint
+module Simplify = Polysynth_analysis.Simplify
 module Benchmarks = Polysynth_workloads.Benchmarks
 
 open Cmdliner
@@ -58,6 +60,8 @@ type options = {
   show_trace : bool;
   check : bool;
   lint : bool;
+  analyze : bool;
+  simplify : bool;
   benchmark : string option;
 }
 
@@ -74,6 +78,7 @@ let config_of options =
     time_budget = options.time_budget;
     candidate_budget = options.candidate_budget;
     cache = not options.no_cache;
+    simplify = options.simplify;
   }
 
 let read_input = function
@@ -123,14 +128,13 @@ let print_lint l =
   if ds = [] then print_string "lint: no findings\n"
   else List.iter (fun d -> Printf.printf "lint: %s\n" (Diag.to_string d)) ds
 
-(* 0 ok; 2 certificate not Verified; 3 error-severity lint findings *)
+(* 0 ok; 2 certificate not Verified; 4 scheduler/binder invariant
+   violation; 3 other error-severity lint findings (Suite.exit_code
+   encodes the 4-before-3 precedence) *)
 let exit_code ~cert ~lint =
   match cert with
   | Some c when not (is_verified c) -> 2
-  | _ ->
-    (match lint with
-     | Some l when Diag.has_errors (Suite.diags l) -> 3
-     | _ -> 0)
+  | _ -> (match lint with Some l -> Suite.exit_code l | None -> 0)
 
 (* ---- evaluate mode ----------------------------------------------------- *)
 
@@ -225,6 +229,16 @@ let run_benchmarks options name =
         (match r.Engine.cert with
          | Equiv.Verified -> ()
          | c -> Printf.printf "  %s\n" (Equiv.cert_to_string c));
+        (match r.Engine.simplified with
+         | Some o ->
+           Printf.printf
+             "  simplify: %d -> %d cell(s), %d rewrite(s) applied, %d \
+              rejected\n"
+             o.Simplify.stats.Simplify.cells_before
+             o.Simplify.stats.Simplify.cells_after
+             o.Simplify.stats.Simplify.applied
+             o.Simplify.stats.Simplify.rejected
+         | None -> ());
         match lint with
         | Some l when Diag.has_errors (Suite.diags l) ->
           List.iter
@@ -295,6 +309,25 @@ let run_synthesis options =
                 (Equiv.cert_to_string r.Engine.cert))
             reports;
         Option.iter print_lint lint;
+        (match main_report.Engine.simplified with
+         | Some o ->
+           Printf.printf
+             "simplify: %d -> %d cell(s), %d rewrite(s) applied, %d \
+              rejected, %d certificate(s)%s\n"
+             o.Simplify.stats.Simplify.cells_before
+             o.Simplify.stats.Simplify.cells_after
+             o.Simplify.stats.Simplify.applied
+             o.Simplify.stats.Simplify.rejected
+             o.Simplify.stats.Simplify.certificates
+             (match o.Simplify.skipped with
+              | Some why -> " (skipped: " ^ why ^ ")"
+              | None -> "");
+           List.iter
+             (fun rw ->
+               Printf.printf "  c%d: %s\n" rw.Simplify.cell
+                 (Simplify.describe rw))
+             o.Simplify.applied
+         | None -> ());
         if options.show_trace then print_string (Engine.Trace.to_text trace)
       end;
       let width = options.width in
@@ -302,9 +335,24 @@ let run_synthesis options =
         Format.printf "@.program:@.%a@." Prog.pp main_report.Engine.prog;
       let netlist =
         lazy
-          (let n = Netlist.of_prog ~width main_report.Engine.prog in
+          (let n =
+             (* the simplified netlist is certified equivalent, so every
+                downstream consumer (emission, power, pipelining) works
+                from it when --simplify ran *)
+             match main_report.Engine.simplified with
+             | Some o -> o.Simplify.netlist
+             | None -> Netlist.of_prog ~width main_report.Engine.prog
+           in
            if options.use_mcm then Mcm.optimize n else n)
       in
+      if options.analyze then begin
+        let n = Lazy.force netlist in
+        print_string
+          "analysis (wrap interval | known bits msb-first | congruence):\n";
+        List.iter
+          (fun line -> Printf.printf "  %s\n" line)
+          (Absint.Product_analysis.to_strings n (Absint.analyze_product n))
+      end;
       if options.use_mcm && not options.json then begin
         let r = Cost.of_netlist (Lazy.force netlist) in
         Printf.printf "after MCM: area=%d delay=%.1f\n" r.Cost.area r.Cost.delay
@@ -537,6 +585,24 @@ let lint_arg =
   in
   Arg.(value & flag & info [ "lint" ] ~doc)
 
+let analyze_arg =
+  let doc =
+    "Print the per-cell facts of the reduced-product abstract \
+     interpretation (wrap-aware interval, known bits, congruence mod 2^k) \
+     over the emitted netlist."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+let simplify_arg =
+  let doc =
+    "Run the certificate-guarded simplification pass on the synthesized \
+     netlist (constant folding, identity removal, strength reduction, \
+     dead-cell elimination; every rewrite is accepted only with a \
+     'verified' equivalence certificate) and emit/report the simplified \
+     netlist."
+  in
+  Arg.(value & flag & info [ "simplify" ] ~doc)
+
 let benchmark_arg =
   let doc =
     "Run a built-in Table 14.3 benchmark ('all' for the whole suite) at \
@@ -551,7 +617,8 @@ let options_term =
   let make input method_name width use_ring objective jobs time_budget
       candidate_budget no_cache verilog_out dot_out testbench_out fsmd_out
       c_out use_mcm show_power show_range pipeline_period show_program
-      compare_all evaluate json show_trace check lint benchmark =
+      compare_all evaluate json show_trace check lint analyze simplify
+      benchmark =
     {
       input;
       method_name;
@@ -578,6 +645,8 @@ let options_term =
       show_trace;
       check;
       lint;
+      analyze;
+      simplify;
       benchmark;
     }
   in
@@ -587,7 +656,7 @@ let options_term =
     $ verilog_arg $ dot_arg $ testbench_arg $ fsmd_arg $ c_arg $ mcm_arg
     $ power_arg $ range_arg $ pipeline_arg $ show_program_arg $ compare_arg
     $ evaluate_arg $ json_arg $ trace_arg $ check_arg $ lint_arg
-    $ benchmark_arg)
+    $ analyze_arg $ simplify_arg $ benchmark_arg)
 
 let cmd =
   let doc = "area-driven synthesis of polynomial datapath systems" in

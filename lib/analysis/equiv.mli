@@ -47,6 +47,13 @@ val cert_to_json : cert -> string
 (** [{"status":"verified"}], or with ["counterexample"] / ["reason"]
     fields. *)
 
+val expansion_estimate : Prog.t -> int
+(** Saturating estimate of the term count of the program's outputs after
+    inlining every binding (sharing-aware, never expands anything).  This
+    is the quantity {!certify} compares against [size_budget]; clients
+    like {!Simplify} use it to predict whether certification will return
+    [Unknown] before paying for a candidate rewrite. *)
+
 val certify :
   ?ctx:Canonical.ctx ->
   ?samples:int ->

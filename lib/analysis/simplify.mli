@@ -1,0 +1,82 @@
+(** Certificate-guarded netlist simplification.
+
+    Consumes the reduced-product facts of {!Absint} and proposes local
+    rewrites — constant folding, [x+0]/[x*1]/[x*0] identities,
+    [0-x -> -x], multiply-by-constant strength reduction
+    ([Mult2 -> Cmult], [Cmult 2^k -> Shl], [Cmult -1 -> Negate]) — plus
+    dead-cell elimination.
+
+    The guard is the point: {e every} candidate netlist is certified
+    against the reference polynomial system by {!Equiv} under the ring
+    context of the netlist's width before it is accepted, so the pass can
+    never change semantics.  A failing batch is retried one rewrite at a
+    time, isolating an unsound proposal (caught as [Refuted] and surfaced
+    as a ["simplify.unsound"] error diagnostic) while sound rewrites
+    still land. *)
+
+module Z := Polysynth_zint.Zint
+module Netlist := Polysynth_hw.Netlist
+module Poly := Polysynth_poly.Poly
+
+type action =
+  | Fold of Z.t  (** replace the cell by a constant *)
+  | Forward of int  (** route the cell's users to another cell *)
+  | Reop of Netlist.op * int list  (** change operator and fanin *)
+
+type rewrite = { cell : int; action : action; reason : string }
+
+val describe : rewrite -> string
+
+val propose : facts:Domains.Product.t array -> Netlist.t -> rewrite list
+(** Rewrites justified by the given per-cell facts.  Proposals only —
+    nothing here is certified. *)
+
+val apply : Netlist.t -> rewrite list -> Netlist.t
+(** Unchecked, id-stable application (forwarded cells keep their id and
+    simply lose their users); exposed so tests can inject unsound
+    rewrites and watch the certificate catch them.  Use {!run} for the
+    guarded pass. *)
+
+val prune : Netlist.t -> Netlist.t
+(** Drop cells unreachable from the outputs and renumber. *)
+
+type stats = {
+  facts_computed : int;  (** cells whose product fact is strictly below top *)
+  proposed : int;
+  applied : int;
+  rejected : int;
+  certificates : int;  (** [Equiv] runs spent guarding the pass *)
+  cells_before : int;
+  cells_after : int;
+}
+
+type outcome = {
+  netlist : Netlist.t;  (** always certified equal to (or identical with)
+                            the input *)
+  applied : rewrite list;
+  rejected : (rewrite * Equiv.cert) list;
+  skipped : string option;
+      (** set when the pass bailed out before certifying anything *)
+  stats : stats;
+}
+
+val cells_eliminated : outcome -> int
+
+val run :
+  ?samples:int ->
+  ?size_budget:int ->
+  ?system:(string * Poly.t) list ->
+  ?facts:Domains.Product.t array ->
+  Netlist.t ->
+  outcome
+(** The guarded pass.  [system] supplies the reference polynomials by
+    output name (recommended — exact and cheap); without it the reference
+    is recovered from the netlist itself, guarded by
+    {!Equiv.expansion_estimate}, and the pass degrades to a no-op when
+    the recovery would exceed [size_budget].  [facts] reuses an existing
+    product analysis. *)
+
+val diags_of_outcome : ?max_findings:int -> outcome -> Diag.t list
+(** Findings for {!Suite}: ["simplify.summary"] / ["simplify.rewrite"] /
+    ["simplify.uncertified"] infos, plus a ["simplify.unsound"] {e error}
+    for every rewrite the certificate refuted. *)

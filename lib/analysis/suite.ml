@@ -1,6 +1,8 @@
 module Poly = Polysynth_poly.Poly
 module Prog = Polysynth_expr.Prog
 module Netlist = Polysynth_hw.Netlist
+module Schedule = Polysynth_hw.Schedule
+module Bind = Polysynth_hw.Bind
 module Canonical = Polysynth_finite_ring.Canonical
 
 type config = {
@@ -9,16 +11,29 @@ type config = {
   system : Poly.t list option;
   check : bool;
   lint : bool;
+  bind : bool;
+  simplify : bool;
   samples : int;
 }
 
 let default ~width =
-  { ctx = None; width; system = None; check = true; lint = true; samples = 8 }
+  {
+    ctx = None;
+    width;
+    system = None;
+    check = true;
+    lint = true;
+    bind = true;
+    simplify = true;
+    samples = 8;
+  }
 
 type report = {
   wellformed : Diag.t list;
   widths : Diag.t list;
   redundancy : Diag.t list;
+  binding : Diag.t list;
+  simplify : Diag.t list;
   cert : Equiv.cert option;
 }
 
@@ -27,19 +42,59 @@ let not_wellformed cfg =
     Some (Equiv.Unknown "program is not well-formed")
   else None
 
+let empty_report cfg wf =
+  {
+    wellformed = wf;
+    widths = [];
+    redundancy = [];
+    binding = [];
+    simplify = [];
+    cert = not_wellformed cfg;
+  }
+
+(* Schedule on a deliberately tight resource budget (maximal unit
+   sharing), bind, and re-check both results with the independent
+   checkers: any violation is a scheduler/binder bug, not a property of
+   the input, hence Error severity and its own exit code. *)
+let binding_check n =
+  let resources = { Schedule.multipliers = 1; adders = 1 } in
+  match Schedule.list_schedule resources n with
+  | Error (`No_progress np) ->
+    [
+      Diag.error ~code:"bind.schedule-stuck" Diag.Program
+        np.Schedule.message;
+    ]
+  | Ok sched ->
+    let schedule_ok = Schedule.is_valid resources n sched in
+    let b = Bind.bind resources n sched in
+    let binding_ok = Bind.is_consistent n sched b in
+    (if schedule_ok then []
+     else
+       [
+         Diag.error ~code:"bind.invalid-schedule" Diag.Program
+           "list scheduler produced a schedule violating dependences or \
+            resource bounds";
+       ])
+    @
+    if binding_ok then []
+    else
+      [
+        Diag.error ~code:"bind.inconsistent" Diag.Program
+          "resource binding violates binder invariants (unit conflict, \
+           missing register, or lifetime overlap)";
+      ]
+
 let analyze cfg prog =
   let wf_prog = Wellformed.check_prog prog in
   if Diag.has_errors wf_prog then
     (* the program cannot safely be lowered to a netlist *)
-    { wellformed = wf_prog; widths = []; redundancy = [];
-      cert = not_wellformed cfg }
+    empty_report cfg wf_prog
   else
     let n = Netlist.of_prog ~width:cfg.width prog in
     let wellformed =
       List.sort Diag.compare (wf_prog @ Wellformed.check_netlist n)
     in
-    if Diag.has_errors wellformed then
-      { wellformed; widths = []; redundancy = []; cert = not_wellformed cfg }
+    if Diag.has_errors wellformed then empty_report cfg wellformed
     else
       let widths =
         if cfg.lint then
@@ -55,6 +110,30 @@ let analyze cfg prog =
             (Redundancy.lint_prog prog @ Redundancy.lint_netlist n)
         else []
       in
+      let binding = if cfg.bind then binding_check n else [] in
+      let simplify =
+        if cfg.lint && cfg.simplify then begin
+          (* pass the source system through when its outputs line up with
+             the netlist's; Simplify recovers a reference itself otherwise *)
+          let system =
+            Option.bind cfg.system (fun polys ->
+                let named =
+                  List.mapi
+                    (fun i p -> (Printf.sprintf "P%d" (i + 1), p))
+                    polys
+                in
+                if
+                  List.for_all
+                    (fun (nm, _) -> List.mem_assoc nm named)
+                    n.Netlist.outputs
+                then Some named
+                else None)
+          in
+          Simplify.diags_of_outcome
+            (Simplify.run ~samples:cfg.samples ?system n)
+        end
+        else []
+      in
       let cert =
         if cfg.check then
           Option.map
@@ -63,15 +142,19 @@ let analyze cfg prog =
             cfg.system
         else None
       in
-      { wellformed; widths; redundancy; cert }
+      { wellformed; widths; redundancy; binding; simplify; cert }
 
 let diags r =
-  List.sort Diag.compare (r.wellformed @ r.widths @ r.redundancy)
+  List.sort Diag.compare
+    (r.wellformed @ r.widths @ r.redundancy @ r.binding @ r.simplify)
 
 let exit_code r =
   match r.cert with
   | Some (Equiv.Refuted _) | Some (Equiv.Unknown _) -> 2
-  | _ -> if Diag.has_errors (diags r) then 3 else 0
+  | _ ->
+    if Diag.has_errors r.binding then 4
+    else if Diag.has_errors (diags r) then 3
+    else 0
 
 let to_text r =
   let buf = Buffer.create 256 in
@@ -86,6 +169,8 @@ let to_text r =
   section "well-formedness" r.wellformed;
   section "widths" r.widths;
   section "redundancy" r.redundancy;
+  section "binding" r.binding;
+  section "simplify" r.simplify;
   (match r.cert with
    | Some c ->
      Buffer.add_string buf
@@ -96,6 +181,7 @@ let to_text r =
 let to_json r =
   let arr ds = "[" ^ String.concat "," (List.map Diag.to_json ds) ^ "]" in
   Printf.sprintf
-    {|{"wellformed":%s,"widths":%s,"redundancy":%s,"certificate":%s}|}
-    (arr r.wellformed) (arr r.widths) (arr r.redundancy)
+    {|{"wellformed":%s,"widths":%s,"redundancy":%s,"binding":%s,"simplify":%s,"certificate":%s}|}
+    (arr r.wellformed) (arr r.widths) (arr r.redundancy) (arr r.binding)
+    (arr r.simplify)
     (match r.cert with Some c -> Equiv.cert_to_json c | None -> "null")

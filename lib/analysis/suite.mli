@@ -1,8 +1,9 @@
 (** The analysis suite: one entry point running every pass in order.
 
     Pass ordering is load-bearing.  Well-formedness runs first and gates
-    everything else: width propagation, equivalence certification and the
-    redundancy lint all assume a single-assignment, acyclic program, so a
+    everything else: width propagation, equivalence certification, the
+    redundancy lint, the scheduler/binder cross-check and the simplify
+    pass all assume a single-assignment, acyclic program, so a
     structurally broken input yields only the well-formedness findings and
     an [Unknown] certificate rather than garbage downstream results. *)
 
@@ -18,6 +19,13 @@ type config = {
       (** source system to certify against; [None] skips certification *)
   check : bool;  (** run equivalence certification *)
   lint : bool;  (** run width and redundancy passes *)
+  bind : bool;
+      (** schedule + bind on a tight resource budget and re-check both
+          with {!Polysynth_hw.Schedule.is_valid} and
+          {!Polysynth_hw.Bind.is_consistent} *)
+  simplify : bool;
+      (** run the certificate-guarded {!Simplify} pass and report its
+          findings (requires [lint]) *)
   samples : int;  (** random pre-filter effort for certification *)
 }
 
@@ -28,6 +36,10 @@ type report = {
   wellformed : Diag.t list;
   widths : Diag.t list;
   redundancy : Diag.t list;
+  binding : Diag.t list;
+      (** [bind.*] findings; always [Error] severity — a violation here
+          is a scheduler/binder bug, not a property of the input *)
+  simplify : Diag.t list;  (** [simplify.*] findings *)
   cert : Equiv.cert option;
       (** [None] only when certification was not requested or no source
           system was given *)
@@ -40,8 +52,9 @@ val diags : report -> Diag.t list
 
 val exit_code : report -> int
 (** The CLI/CI contract: [2] when the certificate is [Refuted] or
-    [Unknown] (the result is not proven), [3] when any finding has
-    [Error] severity, [0] otherwise. *)
+    [Unknown] (the result is not proven), [4] when the scheduler/binder
+    cross-check failed (an internal invariant violation), [3] when any
+    other finding has [Error] severity, [0] otherwise. *)
 
 val to_text : report -> string
 val to_json : report -> string

@@ -1,5 +1,12 @@
+(* The width lint, reimplemented as a client of the dataflow framework:
+   the exact pre-wrap intervals now come from [Absint.Make (Int_interval)]
+   instead of the bespoke sweep in [Polysynth_hw.Range].  The public API
+   and the emitted diagnostics are unchanged (Range still provides the
+   [interval] type and [required_width]). *)
+
 module Netlist = Polysynth_hw.Netlist
 module Range = Polysynth_hw.Range
+module A = Absint.Make (Domains.Int_interval)
 
 type mode = Exact | Ring
 
@@ -15,7 +22,14 @@ let op_label (op : Netlist.op) =
   | Netlist.Shl k -> Printf.sprintf "left shift by %d" k
 
 let check_netlist ?input_range ?(max_findings = 20) ~mode (n : Netlist.t) =
-  let ranges = Range.analyze ?input_range n in
+  let input_fact =
+    Option.map
+      (fun f v ->
+        let iv : Range.interval = f v in
+        Domains.Int_interval.of_bounds ~lo:iv.Range.lo ~hi:iv.Range.hi)
+      input_range
+  in
+  let facts = A.analyze ?input_fact n in
   let width = n.Netlist.width in
   let findings =
     Array.to_list n.Netlist.cells
@@ -27,9 +41,11 @@ let check_netlist ?input_range ?(max_findings = 20) ~mode (n : Netlist.t) =
                 complement, a representation it never takes) *)
              None
            | _ ->
-             let iv = ranges.(cell.Netlist.id) in
-             let need = Range.required_width iv in
-             if need <= width then None else Some (cell, need))
+             (match Domains.Int_interval.range facts.(cell.Netlist.id) with
+              | None -> None  (* unreachable cell: no concrete value *)
+              | Some (lo, hi) ->
+                let need = Range.required_width { Range.lo; hi } in
+                if need <= width then None else Some (cell, need)))
   in
   let total = List.length findings in
   let shown = if total > max_findings then max_findings else total in

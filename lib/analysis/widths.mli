@@ -1,10 +1,11 @@
 (** Width soundness: does every intermediate fit the declared datapath?
 
-    Interval (value-range) propagation over the netlist — the machinery of
-    {!Polysynth_hw.Range} — proves, for every cell, the exact reachable
-    interval before wrap-around and the two's-complement width that would
-    hold it.  A cell whose required width exceeds the declared datapath
-    width is:
+    Interval (value-range) propagation over the netlist — now a client of
+    the dataflow framework ({!Absint.Make} over
+    {!Domains.Int_interval}; this module keeps its historical API as a
+    shim) — proves, for every cell, the exact reachable interval before
+    wrap-around and the two's-complement width that would hold it.  A
+    cell whose required width exceeds the declared datapath width is:
 
     - an {e intentional} [Z_2^m] truncation when the system was
       synthesized under ring semantics ([Ring] mode) — reported as [Info],

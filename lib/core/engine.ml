@@ -12,6 +12,10 @@ module Canonical = Polysynth_finite_ring.Canonical
 module Extract = Polysynth_cse.Extract
 module Kernel = Polysynth_cse.Kernel
 module Equiv = Polysynth_analysis.Equiv
+module Absint = Polysynth_analysis.Absint
+module Domains = Polysynth_analysis.Domains
+module Simplify = Polysynth_analysis.Simplify
+module Netlist = Polysynth_hw.Netlist
 
 type method_name = Direct | Horner | Factor_cse | Proposed
 
@@ -28,6 +32,7 @@ type report = {
   cost : Cost.report;
   labels : string list;
   cert : Equiv.cert;
+  simplified : Simplify.outcome option;
 }
 
 (* ---- configuration ---------------------------------------------------- *)
@@ -49,6 +54,7 @@ module Config = struct
     max_blocks : int option;
     cache : bool;
     certify : bool;
+    simplify : bool;
   }
 
   let default ~width =
@@ -66,6 +72,7 @@ module Config = struct
       max_blocks = None;
       cache = true;
       certify = true;
+      simplify = false;
     }
 
   let domains t =
@@ -93,6 +100,7 @@ module Trace = struct
     stages : stage list;
     cache_hits : int;
     cache_misses : int;
+    cache_tables : (string * int * int) list;
     budget_exhausted : bool;
     certificates : (string * string) list;
     wall : float;
@@ -115,6 +123,14 @@ module Trace = struct
          (if t.cache_hits = 1 then "" else "s")
          t.cache_misses
          (if t.cache_misses = 1 then "" else "es"));
+    List.iter
+      (fun (name, h, m) ->
+        Buffer.add_string b
+          (Printf.sprintf "    %-14s %d hit%s, %d miss%s\n" name h
+             (if h = 1 then "" else "s")
+             m
+             (if m = 1 then "" else "es")))
+      t.cache_tables;
     if t.budget_exhausted then
       Buffer.add_string b "  budget exhausted: the search stopped early\n";
     List.iter
@@ -151,9 +167,14 @@ module Trace = struct
       Printf.sprintf {|{"method":%s,"status":%s}|} (json_string m)
         (json_string status)
     in
+    let table (name, h, m) =
+      Printf.sprintf {|{"name":%s,"hits":%d,"misses":%d}|} (json_string name) h
+        m
+    in
     Printf.sprintf
-      {|{"parallelism":%d,"wall_ms":%.3f,"cache":{"hits":%d,"misses":%d},"budget_exhausted":%b,"certificates":[%s],"stages":[%s]}|}
+      {|{"parallelism":%d,"wall_ms":%.3f,"cache":{"hits":%d,"misses":%d,"tables":[%s]},"budget_exhausted":%b,"certificates":[%s],"stages":[%s]}|}
       t.parallelism (1000. *. t.wall) t.cache_hits t.cache_misses
+      (String.concat "," (List.map table t.cache_tables))
       t.budget_exhausted
       (String.concat "," (List.map certificate t.certificates))
       (String.concat "," (List.map stage t.stages))
@@ -231,18 +252,27 @@ module Memo = struct
   let stats () = (Atomic.get hits, Atomic.get misses)
 end
 
-(* The engine manages two memo layers: its own representation/variant
-   store above, and the kernelling memo inside Polysynth_cse.Kernel that
-   serves the extraction loops.  They are cleared together and their
-   hit/miss counters are merged in the trace. *)
+(* The engine manages three memo layers: its own representation/variant
+   store above, the kernelling memo inside Polysynth_cse.Kernel that
+   serves the extraction loops, and Extract's domain-local flat-cost
+   memo.  They are cleared together here (the single lifecycle point) and
+   the trace reports both the merged totals and the per-table split. *)
+let cache_table_stats () =
+  [
+    ("representation", Memo.stats ());
+    ("kernel", Kernel.cache_stats ());
+    ("flat-cost", Extract.cost_memo_stats ());
+  ]
+
 let clear_cache () =
   Memo.clear ();
-  Kernel.clear_cache ()
+  Kernel.clear_cache ();
+  Extract.clear_cost_memo ()
 
 let cache_stats () =
-  let h, m = Memo.stats () in
-  let kh, km = Kernel.cache_stats () in
-  (h + kh, m + km)
+  List.fold_left
+    (fun (h, m) (_, (th, tm)) -> (h + th, m + tm))
+    (0, 0) (cache_table_stats ())
 
 (* ---- parallel map over a domain pool ---------------------------------- *)
 
@@ -325,6 +355,7 @@ let report_of (config : Config.t) method_name prog labels =
     cost = Cost.of_prog ~model:config.model ~width:config.width prog;
     labels;
     cert = Equiv.Unknown "not certified";
+    simplified = None;
   }
 
 let obtain_store (config : Config.t) ~pmap key polys =
@@ -425,6 +456,7 @@ let proposed (config : Config.t) ~prefix stages budget_ok polys =
           cost = sel.Search.cost;
           labels = sel.Search.labels;
           cert = Equiv.Unknown "not certified";
+          simplified = None;
         }
   in
   let variants =
@@ -512,26 +544,74 @@ let certify_report (config : Config.t) ~prefix stages certs polys r =
     { r with cert }
   end
 
+(* When [config.simplify] is on, the selected decomposition is lowered to
+   a netlist, the reduced-product analysis runs over it (an "analyze"
+   stage whose candidate count is the number of cells with an informative
+   fact, i.e. strictly below top), and the certificate-guarded simplify
+   pass rewrites it (a "simplify" stage counting eliminated cells).  The
+   outcome rides on the report; [report.prog] is untouched — the
+   simplified artifact is the netlist. *)
+let simplify_report (config : Config.t) ~prefix stages polys r =
+  if not config.Config.simplify then r
+  else begin
+    let width = config.Config.width in
+    let n = Netlist.of_prog ~width r.prog in
+    let facts =
+      stage stages (prefix ^ "analyze") (fun () ->
+          let facts = Absint.analyze_product n in
+          let informative =
+            Array.fold_left
+              (fun acc f ->
+                if Domains.Product.leq (Domains.Product.top ~width) f then acc
+                else acc + 1)
+              0 facts
+          in
+          (facts, informative))
+    in
+    let system =
+      List.mapi (fun i p -> (Printf.sprintf "P%d" (i + 1), p)) polys
+    in
+    let outcome =
+      stage stages (prefix ^ "simplify") (fun () ->
+          let o = Simplify.run ~system ~facts n in
+          (o, Simplify.cells_eliminated o))
+    in
+    { r with simplified = Some outcome }
+  end
+
 let with_trace (config : Config.t) f =
   let t0 = now () in
   let kernel_memo_was = Kernel.memo_enabled () in
   Kernel.set_memo_enabled config.Config.cache;
-  let h0, m0 = cache_stats () in
+  let cost_memo_was = Extract.cost_memo_enabled () in
+  Extract.set_cost_memo_enabled config.Config.cache;
+  let tables0 = cache_table_stats () in
   let stages = ref [] in
   let certs = ref [] in
   let budget_ok, budget_tripped = make_budget config in
   let result =
     Fun.protect
-      ~finally:(fun () -> Kernel.set_memo_enabled kernel_memo_was)
+      ~finally:(fun () ->
+        Kernel.set_memo_enabled kernel_memo_was;
+        Extract.set_cost_memo_enabled cost_memo_was)
       (fun () -> f stages certs budget_ok)
   in
-  let h1, m1 = cache_stats () in
+  let cache_tables =
+    List.map2
+      (fun (name, (h0, m0)) (_, (h1, m1)) -> (name, h1 - h0, m1 - m0))
+      tables0 (cache_table_stats ())
+  in
+  let cache_hits, cache_misses =
+    List.fold_left (fun (h, m) (_, th, tm) -> (h + th, m + tm)) (0, 0)
+      cache_tables
+  in
   ( result,
     {
       Trace.parallelism = Config.domains config;
       stages = List.rev !stages;
-      cache_hits = h1 - h0;
-      cache_misses = m1 - m0;
+      cache_hits;
+      cache_misses;
+      cache_tables;
       budget_exhausted = budget_tripped ();
       certificates = List.rev !certs;
       wall = now () -. t0;
@@ -547,7 +627,8 @@ let run config method_name polys =
           let key = Memo.key ~ctx:config.Config.ctx polys in
           baseline config ~prefix stages key m polys
       in
-      certify_report config ~prefix stages certs polys r)
+      let r = certify_report config ~prefix stages certs polys r in
+      simplify_report config ~prefix stages polys r)
 
 let synthesize config polys = run config Proposed polys
 
@@ -565,7 +646,8 @@ let compare_methods config polys =
       List.map
         (fun r ->
           let prefix = method_label r.method_name ^ "/" in
-          certify_report config ~prefix stages certs polys r)
+          let r = certify_report config ~prefix stages certs polys r in
+          simplify_report config ~prefix stages polys r)
         [ direct; horner; factor; prop ])
 
 let verify ?ctx polys prog =

@@ -31,6 +31,7 @@ module Dag := Polysynth_expr.Dag
 module Cost := Polysynth_hw.Cost
 module Canonical := Polysynth_finite_ring.Canonical
 module Equiv := Polysynth_analysis.Equiv
+module Simplify := Polysynth_analysis.Simplify
 
 type method_name = Direct | Horner | Factor_cse | Proposed
 
@@ -51,6 +52,11 @@ type report = {
           context, exact identity otherwise), [Refuted] carries a concrete
           counterexample input.  [Unknown "not certified"] when the run
           had [certify = false]. *)
+  simplified : Polysynth_analysis.Simplify.outcome option;
+      (** outcome of the certificate-guarded netlist simplification pass;
+          present only when the run had [Config.simplify = true].  The
+          simplified artifact is the outcome's netlist — [prog] itself is
+          never rewritten. *)
 }
 
 module Config : sig
@@ -81,6 +87,13 @@ module Config : sig
         (** run the equivalence certifier on every selected decomposition
             (a ["<method>/certify"] trace stage); off, reports carry
             [Unknown "not certified"] *)
+    simplify : bool;
+        (** lower every selected decomposition, run the reduced-product
+            abstract interpretation over the netlist and the
+            certificate-guarded simplify pass on its facts — recorded as
+            ["<method>/analyze"] (candidates = cells with an informative
+            fact) and ["<method>/simplify"] (candidates = cells
+            eliminated) trace stages *)
   }
 
   val default : width:int -> t
@@ -106,8 +119,13 @@ module Trace : sig
   type t = {
     parallelism : int;
     stages : stage list;  (** in execution order *)
-    cache_hits : int;  (** memo hits during this run *)
+    cache_hits : int;  (** memo hits during this run, all tables merged *)
     cache_misses : int;
+    cache_tables : (string * int * int) list;
+        (** per-table [(name, hits, misses)] split of the totals above:
+            ["representation"] (the engine store), ["kernel"]
+            (kernelling memo), ["flat-cost"] (Extract's domain-local
+            body-cost memo) *)
     budget_exhausted : bool;
         (** a budget stopped some stage before it finished *)
     certificates : (string * string) list;
@@ -153,10 +171,11 @@ val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
     to [List.map] when [domains <= 1] or fewer than two items. *)
 
 val clear_cache : unit -> unit
-(** Empty the process-wide memo stores — the representation/variant store
-    and the kernelling memo of [Polysynth_cse.Kernel] — and reset their
-    hit/miss counters. *)
+(** Empty every engine-owned memo in one place — the
+    representation/variant store, the kernelling memo of
+    [Polysynth_cse.Kernel], and the domain-local flat-cost memo of
+    [Polysynth_cse.Extract] — and reset their hit/miss counters. *)
 
 val cache_stats : unit -> int * int
 (** Cumulative [(hits, misses)] since start or {!clear_cache}, merged
-    across the representation store and the kernelling memo. *)
+    across all the tables listed under {!Trace.t.cache_tables}. *)

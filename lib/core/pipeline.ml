@@ -15,6 +15,7 @@ type report = Engine.report = {
   cost : Polysynth_hw.Cost.report;
   labels : string list;
   cert : Polysynth_analysis.Equiv.cert;
+  simplified : Polysynth_analysis.Simplify.outcome option;
 }
 
 (* The legacy call sites were sequential; keep them so ([parallelism = 1])

@@ -30,6 +30,8 @@ type report = Engine.report = {
                              (Proposed only; empty otherwise) *)
   cert : Polysynth_analysis.Equiv.cert;
       (** equivalence certificate for [prog] against the source system *)
+  simplified : Polysynth_analysis.Simplify.outcome option;
+      (** always [None] through this legacy interface *)
 }
 
 val run :

@@ -72,18 +72,57 @@ module Ptbl = Hashtbl.Make (struct
   let hash = Poly.hash
 end)
 
-let body_ops_key : int Ptbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Ptbl.create 1024)
+(* Lifecycle: a domain-local table cannot be cleared from another domain,
+   so [clear_cost_memo] bumps a global epoch and every domain's slot
+   self-resets on its next access.  The hit/miss counters are global
+   atomics rather than per-domain: worker domains are transient (they die
+   when a [parallel_map] returns), so domain-local counts would vanish
+   with them. *)
+let cost_memo_epoch = Atomic.make 0
+let cost_memo_hits = Atomic.make 0
+let cost_memo_misses = Atomic.make 0
+let cost_memo_on = Atomic.make true
+
+let cost_memo_enabled () = Atomic.get cost_memo_on
+let set_cost_memo_enabled b = Atomic.set cost_memo_on b
+
+let body_ops_key : (int * int Ptbl.t) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      ref (Atomic.get cost_memo_epoch, Ptbl.create 1024))
 
 let body_ops body =
-  let tbl = Domain.DLS.get body_ops_key in
+  if not (Atomic.get cost_memo_on) then
+    Dag.total_ops (Dag.tree_counts (Expr.of_poly body))
+  else
+  let slot = Domain.DLS.get body_ops_key in
+  let epoch = Atomic.get cost_memo_epoch in
+  let tbl =
+    let e, tbl = !slot in
+    if e = epoch then tbl
+    else begin
+      let fresh = Ptbl.create 1024 in
+      slot := (epoch, fresh);
+      fresh
+    end
+  in
   match Ptbl.find_opt tbl body with
-  | Some n -> n
+  | Some n ->
+    Atomic.incr cost_memo_hits;
+    n
   | None ->
+    Atomic.incr cost_memo_misses;
     let n = Dag.total_ops (Dag.tree_counts (Expr.of_poly body)) in
     if Ptbl.length tbl > 65536 then Ptbl.reset tbl;
     Ptbl.add tbl body n;
     n
+
+let clear_cost_memo () =
+  Atomic.incr cost_memo_epoch;
+  Atomic.set cost_memo_hits 0;
+  Atomic.set cost_memo_misses 0
+
+let cost_memo_stats () =
+  (Atomic.get cost_memo_hits, Atomic.get cost_memo_misses)
 
 let flat_cost items =
   (* operator count of all bodies as flat sums of products; block variables

@@ -56,3 +56,19 @@ val run :
 
 val block_prefix : string
 (** Prefix of generated block names ("cse_t"). *)
+
+val clear_cost_memo : unit -> unit
+(** Invalidate the domain-local flat-cost memo in every domain (the
+    tables self-reset via a global epoch on their next access) and zero
+    the counters.  Part of the engine-owned cache set emptied by
+    [Engine.clear_cache]. *)
+
+val cost_memo_stats : unit -> int * int
+(** Cumulative [(hits, misses)] of the flat-cost memo across all domains
+    since start or {!clear_cost_memo}. *)
+
+val cost_memo_enabled : unit -> bool
+
+val set_cost_memo_enabled : bool -> unit
+(** Bypass the memo entirely (no lookups, no fills, no counter traffic) —
+    how the engine honours [Config.cache = false]. *)

@@ -107,11 +107,71 @@ let of_prog ~width prog =
 
 let num_cells n = Array.length n.cells
 
+let op_to_string = function
+  | Input v -> Printf.sprintf "input %s" v
+  | Constant c -> Z.to_string c
+  | Negate -> "neg"
+  | Add2 -> "add"
+  | Sub2 -> "sub"
+  | Mult2 -> "mul"
+  | Cmult c -> Printf.sprintf "cmult %s" (Z.to_string c)
+  | Shl k -> Printf.sprintf "shl %d" k
+
 let inputs n =
   Array.to_list n.cells
   |> List.filter_map (fun c ->
          match c.op with Input v -> Some v | _ -> None)
   |> List.sort_uniq String.compare
+
+(* Wrap-around reduction mod 2^width is a ring homomorphism for +, - and
+   *, so a program that skips the per-cell clamping still computes the
+   same outputs once those are reduced mod 2^width.  That makes the
+   program below a faithful (ring-semantics) model of the netlist, which
+   is what lets Equiv certify netlist rewrites. *)
+let to_prog n =
+  let module Expr = Polysynth_expr.Expr in
+  let ins = inputs n in
+  (* binding names must not collide with (or shadow) input variables *)
+  let prefix =
+    let rec grow p =
+      if
+        List.exists
+          (fun v ->
+            String.length v >= String.length p
+            && String.equal (String.sub v 0 (String.length p)) p)
+          ins
+      then grow (p ^ "_")
+      else p
+    in
+    grow "c"
+  in
+  let exprs = Array.make (Array.length n.cells) Expr.zero in
+  let bindings = ref [] in
+  Array.iter
+    (fun cell ->
+      let arg k = exprs.(List.nth cell.fanin k) in
+      let name = prefix ^ string_of_int cell.id in
+      let bind e =
+        bindings := (name, e) :: !bindings;
+        Expr.var name
+      in
+      let e =
+        match cell.op with
+        | Input v -> Expr.var v
+        | Constant c -> Expr.const c
+        | Negate -> bind (Expr.neg (arg 0))
+        | Add2 -> bind (Expr.add [ arg 0; arg 1 ])
+        | Sub2 -> bind (Expr.sub (arg 0) (arg 1))
+        | Mult2 -> bind (Expr.mul [ arg 0; arg 1 ])
+        | Cmult c -> bind (Expr.mul [ Expr.const c; arg 0 ])
+        | Shl k -> bind (Expr.mul [ Expr.const (Z.pow2 k); arg 0 ])
+      in
+      exprs.(cell.id) <- e)
+    n.cells;
+  {
+    Prog.bindings = List.rev !bindings;
+    outputs = List.map (fun (nm, id) -> (nm, exprs.(id))) n.outputs;
+  }
 
 let eval n env =
   let values = Array.make (Array.length n.cells) Z.zero in

@@ -38,6 +38,17 @@ val of_prog : width:int -> Polysynth_expr.Prog.t -> t
 val num_cells : t -> int
 val inputs : t -> string list
 
+val op_to_string : op -> string
+
+val to_prog : t -> Polysynth_expr.Prog.t
+(** Lift the netlist back into a straight-line program: one binding per
+    operator cell (inputs and constants are inlined), outputs preserved
+    by name and order.  Binding names are chosen so they cannot shadow an
+    input variable.  Because reduction mod [2^width] is a ring
+    homomorphism for [+], [-] and [*], the program denotes the same
+    outputs as {!eval} once results are reduced mod [2^width] — this is
+    what lets {!Polysynth_analysis.Equiv} certify netlist rewrites. *)
+
 val eval : t -> (string -> Z.t) -> (string * Z.t) list
 (** Bit-accurate evaluation: every cell result is reduced into
     [[0, 2^width)] (wrap-around bit-vector arithmetic). *)

@@ -8,7 +8,11 @@
 
 let schema = "polysynth-bench/1"
 
-type entry = { name : string; ns_per_run : float }
+type entry = {
+  name : string;
+  ns_per_run : float;
+  cells_eliminated : int option;
+}
 
 (* ---- emission ---------------------------------------------------------- *)
 
@@ -40,6 +44,9 @@ let render ?baseline ~mode entries =
       Buffer.add_string b
         (Printf.sprintf "    {\"name\": %s, \"ns_per_run\": %.1f"
            (json_string e.name) e.ns_per_run);
+      (match e.cells_eliminated with
+       | Some c -> Buffer.add_string b (Printf.sprintf ", \"cells_eliminated\": %d" c)
+       | None -> ());
       (match baseline with
        | None -> ()
        | Some base ->
@@ -118,8 +125,9 @@ let tokenize s =
   done;
   List.rev !toks
 
-(* Walk the token stream picking up ("schema", value) and every
-   {"name": ..., "ns_per_run": ...} pair, in order.  Everything else —
+(* Walk the token stream picking up ("schema", value), every
+   {"name": ..., "ns_per_run": ...} pair in order, and the optional
+   "cells_eliminated" that may follow a pair.  Everything else —
    baseline/speedup fields included — is ignored. *)
 let parse s =
   let toks = tokenize s in
@@ -136,9 +144,17 @@ let parse s =
     | Str "ns_per_run" :: Punct ':' :: Num x :: rest ->
       (match !pending_name with
        | Some name ->
-         entries := { name; ns_per_run = x } :: !entries;
+         entries := { name; ns_per_run = x; cells_eliminated = None } :: !entries;
          pending_name := None
        | None -> raise (Malformed "ns_per_run without a name"));
+      go rest
+    | Str "cells_eliminated" :: Punct ':' :: Num x :: rest ->
+      (match !entries with
+       | e :: tl ->
+         if Float.of_int (int_of_float x) <> x || x < 0. then
+           raise (Malformed "cells_eliminated must be a non-negative integer");
+         entries := { e with cells_eliminated = Some (int_of_float x) } :: tl
+       | [] -> raise (Malformed "cells_eliminated before any result"));
       go rest
     | _ :: rest -> go rest
     | [] -> ()

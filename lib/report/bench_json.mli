@@ -3,14 +3,22 @@
 
     The schema is one object: [{"schema": "polysynth-bench/1", "mode":
     "quick"|"full", "results": [{"name", "ns_per_run",
-    ["baseline_ns_per_run", "speedup_vs_baseline"]}]}].  Emission, a parser
-    for exactly this shape, and the validation run by [make bench-json] and
-    the test suite all live here so they cannot drift apart. *)
+    ["cells_eliminated"], ["baseline_ns_per_run",
+    "speedup_vs_baseline"]}]}].  Emission, a parser for exactly this
+    shape, and the validation run by [make bench-json] and the test suite
+    all live here so they cannot drift apart. *)
 
 val schema : string
 (** ["polysynth-bench/1"]. *)
 
-type entry = { name : string; ns_per_run : float }
+type entry = {
+  name : string;
+  ns_per_run : float;
+  cells_eliminated : int option;
+      (** netlist cells removed by the certificate-guarded simplify pass
+          for the entry's benchmark; [None] for entries that do not run
+          the pass *)
+}
 
 val render : ?baseline:(string * float) list -> mode:string -> entry list -> string
 (** Render the document.  When [baseline] holds an [ns_per_run] for an
@@ -25,5 +33,6 @@ val parse_exn : string -> entry list
 
 val validate : ?required:string list -> string -> (unit, string) result
 (** Check a document: schema tag, at least one result, every [ns_per_run]
-    finite and strictly positive (non-zero throughput), and all [required]
-    result names present. *)
+    finite and strictly positive (non-zero throughput), every
+    [cells_eliminated] a non-negative integer, and all [required] result
+    names present. *)

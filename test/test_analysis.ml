@@ -317,6 +317,306 @@ let test_benchmarks_verify () =
         (Equiv.cert_label r.Engine.cert))
     (B.all ())
 
+(* ---- abstract interpretation: soundness and precision ------------------ *)
+
+module Domains = Polysynth_analysis.Domains
+module Absint = Polysynth_analysis.Absint
+module Simplify = Polysynth_analysis.Simplify
+module Schedule = Polysynth_hw.Schedule
+module Bind = Polysynth_hw.Bind
+module Ex = Polysynth_workloads.Examples
+
+let qprop name ?(count = 1000) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* Random well-formed netlists: three input cells followed by operator
+   cells whose fanin only points backwards, the last cell the sole
+   output.  Inputs are drawn inside [0, 2^width) so the pre-wrap
+   Int_interval domain sees in-range inputs too. *)
+let build_netlist width specs =
+  let base =
+    [
+      { Netlist.id = 0; op = Netlist.Input "x"; fanin = [] };
+      { Netlist.id = 1; op = Netlist.Input "y"; fanin = [] };
+      { Netlist.id = 2; op = Netlist.Input "z"; fanin = [] };
+    ]
+  in
+  let ops =
+    List.mapi
+      (fun i ((k, f1), (f2, c)) ->
+        let id = 3 + i in
+        let a = f1 mod id and b = f2 mod id in
+        let op, fanin =
+          match k with
+          | 0 -> (Netlist.Constant (Z.of_int c), [])
+          | 1 -> (Netlist.Negate, [ a ])
+          | 2 -> (Netlist.Add2, [ a; b ])
+          | 3 -> (Netlist.Sub2, [ a; b ])
+          | 4 -> (Netlist.Mult2, [ a; b ])
+          | 5 -> (Netlist.Cmult (Z.of_int c), [ a ])
+          | _ -> (Netlist.Shl (abs c mod width), [ a ])
+        in
+        { Netlist.id; op; fanin })
+      specs
+  in
+  let cells = Array.of_list (base @ ops) in
+  { Netlist.cells; outputs = [ ("P1", Array.length cells - 1) ]; width }
+
+let gen_rand_netlist =
+  let open QCheck.Gen in
+  let spec =
+    pair
+      (pair (int_range 0 6) (int_range 0 997))
+      (pair (int_range 0 991) (int_range (-9) 9))
+  in
+  oneofl [ 4; 8 ] >>= fun width ->
+  list_size (int_range 1 10) spec >>= fun specs ->
+  triple (int_range 0 255) (int_range 0 255) (int_range 0 255)
+  >>= fun env -> return (build_netlist width specs, env)
+
+let arb_rand_netlist =
+  QCheck.make gen_rand_netlist ~print:(fun ((n : Netlist.t), (x, y, z)) ->
+      Printf.sprintf "width=%d env=(%d,%d,%d)\n%s" n.Netlist.width x y z
+        (String.concat "\n"
+           (Array.to_list
+              (Array.map
+                 (fun (c : Netlist.cell) ->
+                   Printf.sprintf "  c%d %s <- [%s]" c.Netlist.id
+                     (Netlist.op_to_string c.Netlist.op)
+                     (String.concat ","
+                        (List.map string_of_int c.Netlist.fanin)))
+                 n.Netlist.cells))))
+
+let env_fn ~width (x, y, z) v =
+  let w n = Z.erem_pow2 (Z.of_int n) width in
+  match v with "x" -> w x | "y" -> w y | _ -> w z
+
+(* per-cell concrete values; [clamp = false] is the exact pre-wrap
+   evaluation Int_interval abstracts *)
+let eval_cells ~clamp (n : Netlist.t) envf =
+  let vals = Array.make (Array.length n.Netlist.cells) Z.zero in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let arg k = vals.(List.nth c.Netlist.fanin k) in
+      let v =
+        match c.Netlist.op with
+        | Netlist.Input v -> envf v
+        | Netlist.Constant k -> k
+        | Netlist.Negate -> Z.neg (arg 0)
+        | Netlist.Add2 -> Z.add (arg 0) (arg 1)
+        | Netlist.Sub2 -> Z.sub (arg 0) (arg 1)
+        | Netlist.Mult2 -> Z.mul (arg 0) (arg 1)
+        | Netlist.Cmult k -> Z.mul k (arg 0)
+        | Netlist.Shl s -> Z.mul (Z.pow2 s) (arg 0)
+      in
+      vals.(c.Netlist.id) <-
+        (if clamp then Z.erem_pow2 v n.Netlist.width else v))
+    n.Netlist.cells;
+  vals
+
+(* soundness: whatever a cell concretely evaluates to is inside the fact
+   the analysis infers for it *)
+let prop_domain_sound name dom ~clamp =
+  qprop ("soundness: " ^ name) arb_rand_netlist (fun (n, env) ->
+      let module D = (val dom : Domains.DOMAIN) in
+      let module A = Absint.Make (D) in
+      let width = n.Netlist.width in
+      let facts = A.analyze n in
+      let vals = eval_cells ~clamp n (env_fn ~width env) in
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if not (D.contains ~width facts.(i) v) then ok := false)
+        vals;
+      !ok)
+
+(* the reduced product is at least as precise as each factor analysis *)
+let prop_product_precision =
+  qprop "product at least as precise as factors" arb_rand_netlist
+    (fun (n, _env) ->
+      let pf = Absint.analyze_product n in
+      let module AI = Absint.Make (Domains.Interval) in
+      let module AK = Absint.Make (Domains.Known_bits) in
+      let module AC = Absint.Make (Domains.Congruence) in
+      let fi = AI.analyze n
+      and fk = AK.analyze n
+      and fc = AC.analyze n in
+      let ok = ref true in
+      Array.iteri
+        (fun i p ->
+          if
+            not
+              (Domains.Interval.leq (Domains.Product.interval p) fi.(i)
+              && Domains.Known_bits.leq (Domains.Product.known_bits p) fk.(i)
+              && Domains.Congruence.leq (Domains.Product.congruence p) fc.(i))
+          then ok := false)
+        pf;
+      !ok)
+
+(* ---- certificate-guarded simplification -------------------------------- *)
+
+(* the guarded pass must preserve the bit-accurate semantics of every
+   output, whatever it decides to do *)
+let prop_simplify_preserves =
+  qprop "simplify preserves netlist semantics" ~count:60 arb_rand_netlist
+    (fun (n, env) ->
+      let width = n.Netlist.width in
+      let o = Simplify.run n in
+      let envf = env_fn ~width env in
+      let before = Netlist.eval n envf in
+      let after = Netlist.eval o.Simplify.netlist envf in
+      List.for_all2
+        (fun (nm, v) (nm', v') -> nm = nm' && Z.equal v v')
+        before after)
+
+let test_simplify_identity_and_prune () =
+  (* x + 0 with two dead inputs: the add is forwarded to x, everything
+     unreachable is pruned *)
+  let n =
+    build_netlist 8 [ ((0, 0), (0, 0)) (* c3 = const 0 *) ] |> fun n ->
+    {
+      n with
+      Netlist.cells =
+        Array.append n.Netlist.cells
+          [| { Netlist.id = 4; op = Netlist.Add2; fanin = [ 0; 3 ] } |];
+      outputs = [ ("P1", 4) ];
+    }
+  in
+  let o = Simplify.run n in
+  Alcotest.(check int) "one rewrite applied" 1
+    o.Simplify.stats.Simplify.applied;
+  Alcotest.(check bool) "cells eliminated" true
+    (Simplify.cells_eliminated o > 0);
+  let envf = env_fn ~width:8 (57, 0, 0) in
+  Alcotest.(check bool) "still computes x" true
+    (List.for_all2
+       (fun (nm, v) (nm', v') -> nm = nm' && Z.equal v v')
+       (Netlist.eval n envf)
+       (Netlist.eval o.Simplify.netlist envf))
+
+let test_simplify_strength_reduction () =
+  (* 4*x becomes a shift; the rewrite carries a certificate *)
+  let prog =
+    {
+      Prog.bindings = [];
+      outputs =
+        [ ("P1", Expr.mul [ Expr.int 4; Expr.var "x"; Expr.var "y" ]) ];
+    }
+  in
+  let n = Netlist.of_prog ~width:8 prog in
+  let o = Simplify.run ~system:[ ("P1", poly "4*x*y") ] n in
+  Alcotest.(check bool) "applied a rewrite" true
+    (o.Simplify.stats.Simplify.applied > 0);
+  Alcotest.(check bool) "spent a certificate" true
+    (o.Simplify.stats.Simplify.certificates > 0);
+  Alcotest.(check bool) "a shift appears" true
+    (Array.exists
+       (fun (c : Netlist.cell) ->
+         match c.Netlist.op with Netlist.Shl _ -> true | _ -> false)
+       o.Simplify.netlist.Netlist.cells)
+
+let test_simplify_unsound_rewrite_refuted () =
+  (* lie to the pass: hand-crafted facts claim x + y is the constant 0,
+     so it proposes folding the output; the certificate must refute the
+     proposal and nothing may be applied *)
+  let prog =
+    {
+      Prog.bindings = [];
+      outputs = [ ("P1", Expr.add [ Expr.var "x"; Expr.var "y" ]) ];
+    }
+  in
+  let width = 8 in
+  let n = Netlist.of_prog ~width prog in
+  let facts =
+    Array.map (fun _ -> Domains.Product.top ~width) n.Netlist.cells
+  in
+  let out_id = List.assoc "P1" n.Netlist.outputs in
+  facts.(out_id) <- Domains.Product.const ~width Z.zero;
+  let o = Simplify.run ~system:[ ("P1", poly "x + y") ] ~facts n in
+  Alcotest.(check int) "nothing applied" 0 o.Simplify.stats.Simplify.applied;
+  Alcotest.(check bool) "the lie was refuted" true
+    (List.exists
+       (fun (_, c) -> match c with Equiv.Refuted _ -> true | _ -> false)
+       o.Simplify.rejected);
+  Alcotest.(check bool) "surfaced as simplify.unsound error" true
+    (has_code "simplify.unsound" (Simplify.diags_of_outcome o));
+  Alcotest.(check bool) "which is error severity" true
+    (Diag.has_errors (Simplify.diags_of_outcome o))
+
+(* ---- scheduler/binder cross-check --------------------------------------- *)
+
+let example_systems =
+  [
+    ("table_14_1", Ex.table_14_1, 16);
+    ("table_14_2", Ex.table_14_2, 16);
+    ("section_14_3_1", [ Ex.section_14_3_1_f; Ex.section_14_3_1_g ], 16);
+    ("section_14_4_1", [ Ex.section_14_4_1 ], 16);
+    ("section_14_4_2", Ex.section_14_4_2, 12);
+    ("coeff_factoring", [ Ex.coefficient_factoring_motivation ], 12);
+  ]
+
+let test_bind_consistent_on_examples () =
+  List.iter
+    (fun (name, polys, width) ->
+      let config =
+        {
+          (Engine.Config.default ~width) with
+          Engine.Config.parallelism = 1;
+          certify = false;
+        }
+      in
+      let r, _ = Engine.synthesize config polys in
+      let n = Netlist.of_prog ~width r.Engine.prog in
+      let res = { Schedule.multipliers = 1; adders = 1 } in
+      match Schedule.list_schedule res n with
+      | Error (`No_progress np) ->
+        Alcotest.fail (name ^ ": scheduler stuck: " ^ np.Schedule.message)
+      | Ok s ->
+        Alcotest.(check bool) (name ^ ": schedule valid") true
+          (Schedule.is_valid res n s);
+        let b = Bind.bind res n s in
+        Alcotest.(check bool) (name ^ ": binding consistent") true
+          (Bind.is_consistent n s b))
+    example_systems
+
+let test_suite_binding_pass_and_exit_code () =
+  (* the default suite runs the cross-check and reports nothing on a
+     healthy program ... *)
+  let prog =
+    {
+      Prog.bindings = [ ("d1", Expr.add [ Expr.var "x"; Expr.var "y" ]) ];
+      outputs = [ ("P1", Expr.mul [ Expr.var "d1"; Expr.var "d1" ]) ];
+    }
+  in
+  let r = Suite.analyze (Suite.default ~width:8) prog in
+  Alcotest.(check (list string)) "no binding findings" [] (codes r.Suite.binding);
+  (* ... and a bind.* error maps to exit code 4, taking precedence over
+     the generic error exit but not over a failed certificate *)
+  let broken =
+    {
+      r with
+      Suite.binding =
+        [ Diag.error ~code:"bind.inconsistent" Diag.Program "injected" ];
+      cert = Some Equiv.Verified;
+    }
+  in
+  Alcotest.(check int) "bind error exits 4" 4 (Suite.exit_code broken);
+  let refuted_too =
+    {
+      broken with
+      Suite.cert =
+        Some
+          (Equiv.Refuted
+             {
+               Equiv.output = "P1";
+               point = [];
+               expected = Z.zero;
+               got = Some Z.one;
+             });
+    }
+  in
+  Alcotest.(check int) "refuted certificate still exits 2" 2
+    (Suite.exit_code refuted_too)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -357,6 +657,42 @@ let () =
           Alcotest.test_case "clean exit" `Quick test_suite_clean_exit;
           Alcotest.test_case "refuted exit" `Quick test_suite_refuted_exit;
           Alcotest.test_case "error exit" `Quick test_suite_error_exit;
+        ] );
+      ( "absint",
+        [
+          prop_domain_sound "int-interval (pre-wrap)"
+            (module Domains.Int_interval : Domains.DOMAIN)
+            ~clamp:false;
+          prop_domain_sound "wrap interval"
+            (module Domains.Interval : Domains.DOMAIN)
+            ~clamp:true;
+          prop_domain_sound "known bits"
+            (module Domains.Known_bits : Domains.DOMAIN)
+            ~clamp:true;
+          prop_domain_sound "congruence"
+            (module Domains.Congruence : Domains.DOMAIN)
+            ~clamp:true;
+          prop_domain_sound "reduced product"
+            (module Domains.Product : Domains.DOMAIN)
+            ~clamp:true;
+          prop_product_precision;
+        ] );
+      ( "simplify",
+        [
+          prop_simplify_preserves;
+          Alcotest.test_case "identity forwarding + prune" `Quick
+            test_simplify_identity_and_prune;
+          Alcotest.test_case "strength reduction certified" `Quick
+            test_simplify_strength_reduction;
+          Alcotest.test_case "unsound rewrite refuted" `Quick
+            test_simplify_unsound_rewrite_refuted;
+        ] );
+      ( "bind",
+        [
+          Alcotest.test_case "examples schedule and bind" `Slow
+            test_bind_consistent_on_examples;
+          Alcotest.test_case "suite cross-check and exit code" `Quick
+            test_suite_binding_pass_and_exit_code;
         ] );
       ( "integration",
         [

@@ -2,8 +2,16 @@ module BJ = Polysynth_report.Bench_json
 
 let entries =
   [
-    { BJ.name = "polysynth/kernel_extraction_t143"; ns_per_run = 49846.2 };
-    { BJ.name = "polysynth/integrated_t143"; ns_per_run = 10669763.1 };
+    {
+      BJ.name = "polysynth/kernel_extraction_t143";
+      ns_per_run = 49846.2;
+      cells_eliminated = None;
+    };
+    {
+      BJ.name = "polysynth/integrated_t143";
+      ns_per_run = 10669763.1;
+      cells_eliminated = Some 3;
+    };
   ]
 
 let contains ~needle haystack =
@@ -20,7 +28,10 @@ let test_roundtrip () =
   List.iter2
     (fun e p ->
       Alcotest.(check string) "name" e.BJ.name p.BJ.name;
-      Alcotest.(check (float 1e-9)) "ns" e.BJ.ns_per_run p.BJ.ns_per_run)
+      Alcotest.(check (float 1e-9)) "ns" e.BJ.ns_per_run p.BJ.ns_per_run;
+      Alcotest.(check (option int))
+        "cells_eliminated roundtrips" e.BJ.cells_eliminated
+        p.BJ.cells_eliminated)
     entries parsed
 
 let test_roundtrip_with_baseline () =
@@ -60,6 +71,12 @@ let test_validate_rejects_garbage () =
   reject "non-positive ns"
     {|{"schema": "polysynth-bench/1", "mode": "quick",
        "results": [{"name": "a", "ns_per_run": 0.0}]}|};
+  reject "negative cells_eliminated"
+    {|{"schema": "polysynth-bench/1", "mode": "quick",
+       "results": [{"name": "a", "ns_per_run": 1.0, "cells_eliminated": -2}]}|};
+  reject "fractional cells_eliminated"
+    {|{"schema": "polysynth-bench/1", "mode": "quick",
+       "results": [{"name": "a", "ns_per_run": 1.0, "cells_eliminated": 1.5}]}|};
   match BJ.parse_exn "not json" with
   | exception BJ.Malformed _ -> ()
   | _ -> Alcotest.fail "parse_exn must raise Malformed on junk"
